@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: run a windowed WordCount through the micro-batch engine.
+
+Builds the simulated engine with Prompt's partitioning scheme, streams
+a synthetic tweet-word workload through it for a dozen one-second
+batches, and prints per-batch execution records plus the final sliding
+window's hottest words — the smallest end-to-end tour of the library.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import EngineConfig, MicroBatchEngine, make_partitioner
+from repro.bench import render_run
+from repro.queries import select_top_k, wordcount_query
+from repro.workloads import tweets_source
+
+
+def main() -> None:
+    # 1. A query: count word occurrences over a 10-second sliding window.
+    query = wordcount_query(window_length=10.0)
+
+    # 2. An engine: 1 s batch intervals, 8 Map tasks, 8 Reduce tasks,
+    #    on a simulated 4-node x 4-core cluster (the defaults).
+    engine = MicroBatchEngine(
+        make_partitioner("prompt"),
+        query,
+        EngineConfig(batch_interval=1.0, num_blocks=8, num_reducers=8),
+    )
+
+    # 3. A workload: synthetic tweets at 5,000 words/second.
+    source = tweets_source(rate=5_000.0, seed=42)
+
+    # 4. Run 12 batches and inspect the results.
+    result = engine.run(source, num_batches=12)
+
+    print("batch  tuples  keys   processing  load(W)  latency")
+    for record in result.stats.records:
+        print(
+            f"{record.index:>5}  {record.tuple_count:>6}  {record.key_count:>5}"
+            f"  {record.processing_time:>9.3f}s  {record.load:>6.2f}  {record.latency:>6.3f}s"
+        )
+
+    print(f"\nthroughput: {result.stats.throughput():,.0f} tuples/s")
+    print(f"mean latency: {result.stats.mean_latency():.3f}s")
+    print(f"stable (no back-pressure): {result.stable}")
+
+    print("\ntop words in the final window:")
+    for word, count in select_top_k(result.final_window_answer(), 5):
+        print(f"  {word:>8}  {count}")
+
+    print()
+    print(render_run(result, title="run report"))
+
+
+if __name__ == "__main__":
+    main()

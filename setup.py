@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools 65 without the ``wheel``
+package, so PEP 660 editable installs (which must build a wheel) fail.
+Keeping a ``setup.py`` lets ``pip install -e .`` fall back to the
+``setup.py develop`` path, which needs neither network nor wheel.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

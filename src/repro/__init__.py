@@ -1,0 +1,77 @@
+"""repro — reproduction of *Prompt: Dynamic Data-Partitioning for
+Distributed Micro-batch Stream Processing Systems* (SIGMOD 2020).
+
+Public API layout:
+
+- :mod:`repro.core` — the paper's contribution: frequency-aware
+  buffering (Alg. 1), B-BPFI batch partitioning (Alg. 2), B-BPVC reduce
+  allocation (Alg. 3), latency-aware elasticity (Alg. 4), and the
+  BSI/BCI/KSR/MPI cost model.
+- :mod:`repro.partitioners` — Prompt plus every baseline technique
+  (time-based, shuffle, hashing, PK2/PK5, cAM).
+- :mod:`repro.engine` — the simulated micro-batch engine substrate
+  (receiver, scheduler, tasks, windows, state, faults, back-pressure).
+- :mod:`repro.queries` — the Section 7.1 benchmark queries.
+- :mod:`repro.workloads` — dataset generators and arrival processes.
+- :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure of the evaluation.
+
+Quickstart::
+
+    from repro import MicroBatchEngine, EngineConfig
+    from repro.partitioners import make_partitioner
+    from repro.queries import wordcount_query
+    from repro.workloads import tweets_source
+
+    engine = MicroBatchEngine(
+        make_partitioner("prompt"),
+        wordcount_query(window_length=10.0),
+        EngineConfig(batch_interval=1.0, num_blocks=8, num_reducers=8),
+    )
+    result = engine.run(tweets_source(rate=5_000), num_batches=12)
+    print(result.stats.throughput(), result.stats.mean_latency())
+"""
+
+from .core import (
+    AccumulatorConfig,
+    AutoScaler,
+    BatchInfo,
+    CountTree,
+    ElasticityConfig,
+    MicroBatchAccumulator,
+    MPIWeights,
+    PartitionedBatch,
+    PromptBatchPartitioner,
+    PromptConfig,
+    ReduceBucketAllocator,
+    StreamTuple,
+    evaluate_partition,
+)
+from .engine import EngineConfig, MicroBatchEngine, RunResult
+from .partitioners import make_partitioner
+from .queries import Query, WindowSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccumulatorConfig",
+    "AutoScaler",
+    "BatchInfo",
+    "CountTree",
+    "ElasticityConfig",
+    "EngineConfig",
+    "MPIWeights",
+    "MicroBatchAccumulator",
+    "MicroBatchEngine",
+    "PartitionedBatch",
+    "PromptBatchPartitioner",
+    "PromptConfig",
+    "Query",
+    "ReduceBucketAllocator",
+    "RunResult",
+    "StreamTuple",
+    "WindowSpec",
+    "__version__",
+    "evaluate_partition",
+    "make_partitioner",
+]

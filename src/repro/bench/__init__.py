@@ -1,0 +1,39 @@
+"""Benchmark harness regenerating the paper's tables and figures."""
+
+from .experiments import (
+    PAPER_TECHNIQUES,
+    fig6_assignment_tradeoffs,
+    fig10_partition_metrics,
+    fig11_throughput_vs_interval,
+    fig11d_skew_sweep,
+    fig12_elasticity,
+    fig13_latency_distribution,
+    fig14a_post_sort_throughput,
+    fig14b_partition_overhead,
+    table1_dataset_stats,
+)
+from .harness import ThroughputResult, ThroughputSearch, run_at_rate
+from .report import render_run, sparkline
+from .reporting import format_series, format_table, results_dir, save_results
+
+__all__ = [
+    "PAPER_TECHNIQUES",
+    "ThroughputResult",
+    "ThroughputSearch",
+    "fig6_assignment_tradeoffs",
+    "fig10_partition_metrics",
+    "fig11_throughput_vs_interval",
+    "fig11d_skew_sweep",
+    "fig12_elasticity",
+    "fig13_latency_distribution",
+    "fig14a_post_sort_throughput",
+    "fig14b_partition_overhead",
+    "format_series",
+    "format_table",
+    "render_run",
+    "results_dir",
+    "sparkline",
+    "run_at_rate",
+    "save_results",
+    "table1_dataset_stats",
+]

@@ -1,0 +1,95 @@
+"""Human-readable run reports: summaries and ASCII sparklines.
+
+``render_run`` turns a :class:`~repro.engine.engine.RunResult` into the
+kind of terminal report an operator would want after a run: volume,
+latency, stability, per-batch load as a sparkline, scaling actions, and
+the recovery/lateness ledgers when those features were active.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..engine.engine import RunResult
+
+__all__ = ["sparkline", "render_run"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, lo: float | None = None, hi: float | None = None) -> str:
+    """Render values as a unicode sparkline.
+
+    ``lo``/``hi`` pin the scale (defaults: the data's own range); flat
+    data renders as a run of middle bars.
+    """
+    if not values:
+        return ""
+    floor = min(values) if lo is None else lo
+    ceil = max(values) if hi is None else hi
+    span = ceil - floor
+    if span <= 0:
+        return _BARS[3] * len(values)
+    out = []
+    for v in values:
+        frac = (v - floor) / span
+        index = min(len(_BARS) - 1, max(0, int(frac * len(_BARS))))
+        out.append(_BARS[index])
+    return "".join(out)
+
+
+def render_run(result: RunResult, *, title: str = "run report") -> str:
+    """A multi-line text report for one engine run."""
+    stats = result.stats
+    lines = [title, "=" * len(title)]
+    if not stats.records:
+        lines.append("(no batches executed)")
+        return "\n".join(lines)
+
+    loads = stats.loads()
+    latencies = stats.latencies()
+    first, last = stats.records[0], stats.records[-1]
+    lines += [
+        f"batches:        {len(stats.records)}  "
+        f"(intervals {first.batch_interval:.2f}s … {last.batch_interval:.2f}s)",
+        f"tuples:         {stats.total_tuples:,}  "
+        f"({stats.throughput():,.0f}/s sustained)",
+        f"latency:        mean {stats.mean_latency():.3f}s   "
+        f"p95 {stats.p95_latency():.3f}s",
+        f"load W:         mean {stats.mean_load():.2f}   "
+        f"max {max(loads):.2f}   {sparkline(loads, lo=0.0, hi=max(1.0, max(loads)))}",
+        f"queue delay:    max {stats.max_queue_delay():.3f}s",
+        f"stable:         {'yes' if result.stable else 'NO (back-pressure at batch ' + str(result.backpressure.triggered_at) + ')'}",
+    ]
+    tasks = stats.task_count_series()
+    if len({(m, r) for _, m, r in tasks}) > 1:
+        lines.append(
+            f"map tasks:      {sparkline([m for _, m, _ in tasks])}  "
+            f"({tasks[0][1]} → {tasks[-1][1]})"
+        )
+        lines.append(
+            f"reduce tasks:   {sparkline([r for _, _, r in tasks])}  "
+            f"({tasks[0][2]} → {tasks[-1][2]})"
+        )
+    acted = [d for d in result.scaling_history if d.acted]
+    if acted:
+        lines.append(f"scaling:        {len(acted)} actions; last: {acted[-1].reason}")
+    if result.recoveries:
+        ok = sum(1 for e in result.recoveries if e.matched_original)
+        lines.append(
+            f"recoveries:     {len(result.recoveries)} "
+            f"({ok} matched the lost state exactly)"
+        )
+    if result.lateness is not None and result.lateness.total:
+        monitor = result.lateness
+        lines.append(
+            f"lateness:       {monitor.late_accepted:,} late accepted, "
+            f"{monitor.overdue:,} overdue ({monitor.drop_rate():.1%} dropped)"
+        )
+    overheads = stats.partition_overhead_fractions()
+    if overheads and max(overheads) > 0:
+        lines.append(
+            f"partitioning:   max {100 * max(overheads):.2f}% of the interval "
+            f"(early-release misses: {result.early_release.miss_rate():.0%})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Plain-text table/series rendering and JSON result persistence.
+
+Every bench regenerates its paper artifact as aligned text rows printed
+to stdout (pytest shows them with ``-s`` / on benchmark runs) and as a
+JSON document under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "save_results", "results_dir"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == math.inf:
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    *,
+    title: str = "",
+) -> str:
+    """Render mappings as an aligned monospace table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    rendered = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    points: Sequence[tuple[Any, ...]],
+    headers: Sequence[str],
+    *,
+    title: str = "",
+) -> str:
+    """Render (x, y, ...) tuples as an aligned series listing."""
+    rows = [dict(zip(headers, p)) for p in points]
+    return format_table(rows, headers, title=title)
+
+
+def results_dir() -> Path:
+    """``benchmarks/results/`` next to the repository root."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            out = parent / "benchmarks" / "results"
+            out.mkdir(parents=True, exist_ok=True)
+            return out
+    out = Path.cwd() / "benchmark-results"
+    out.mkdir(parents=True, exist_ok=True)
+    return out
+
+
+def save_results(name: str, payload: Any) -> Path:
+    """Persist one experiment's structured results as JSON."""
+    path = results_dir() / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    return path

@@ -1,0 +1,190 @@
+"""Command-line interface: run experiments and demos without writing code.
+
+Usage::
+
+    python -m repro list                      # available experiments
+    python -m repro run table1                # regenerate one artifact
+    python -m repro run fig10 --dataset tpch
+    python -m repro run fig11d --quick        # reduced-scale sweep
+    python -m repro quickstart                # the quickstart demo
+
+Each ``run`` prints the paper-style table and writes JSON next to the
+benchmarks (``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Callable
+
+from .bench import (
+    fig6_assignment_tradeoffs,
+    fig10_partition_metrics,
+    fig11_throughput_vs_interval,
+    fig11d_skew_sweep,
+    fig12_elasticity,
+    fig13_latency_distribution,
+    fig14a_post_sort_throughput,
+    fig14b_partition_overhead,
+    format_table,
+    save_results,
+    table1_dataset_stats,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_table1(args: argparse.Namespace) -> tuple[str, Any]:
+    rows = table1_dataset_stats()
+    return format_table(rows, title="Table 1: dataset properties"), rows
+
+
+def _run_fig6(args: argparse.Namespace) -> tuple[str, Any]:
+    rows = fig6_assignment_tradeoffs()
+    return format_table(rows, title="Figure 6: assignment trade-offs"), rows
+
+
+def _run_fig10(args: argparse.Namespace) -> tuple[str, Any]:
+    rows = fig10_partition_metrics(args.dataset)
+    return (
+        format_table(rows, title=f"Figure 10 ({args.dataset}): partitioning metrics"),
+        rows,
+    )
+
+
+def _run_fig11(args: argparse.Namespace) -> tuple[str, Any]:
+    kwargs: dict[str, Any] = {"cost_scale": 2.0}
+    if args.quick:
+        kwargs.update(
+            intervals=(1.0,), num_batches=3, num_keys=5_000, tolerance=0.2
+        )
+    rows = fig11_throughput_vs_interval(**kwargs)
+    return format_table(rows, title="Figure 11a-c: throughput vs batch interval"), rows
+
+
+def _run_fig11d(args: argparse.Namespace) -> tuple[str, Any]:
+    kwargs: dict[str, Any] = {"cost_scale": 2.0}
+    if args.quick:
+        kwargs.update(
+            exponents=(0.2, 1.0, 1.8),
+            batch_interval=1.0,
+            num_batches=3,
+            num_keys=5_000,
+            tolerance=0.2,
+        )
+    rows = fig11d_skew_sweep(**kwargs)
+    return format_table(rows, title="Figure 11d: throughput vs Zipf exponent"), rows
+
+
+def _run_fig12(args: argparse.Namespace) -> tuple[str, Any]:
+    result = fig12_elasticity(direction=args.direction)
+    text = format_table(
+        result["series"], title=f"Figure 12 (scale-{args.direction}): task tracking"
+    )
+    return text, result
+
+
+def _run_fig13(args: argparse.Namespace) -> tuple[str, Any]:
+    out = fig13_latency_distribution()
+    rows = [
+        {
+            "Technique": name,
+            "MeanReduceTime": d["mean_reduce_time"],
+            "MeanSpread": d["mean_spread"],
+            "LatencyP95": d["latency_p95"],
+        }
+        for name, d in out["techniques"].items()
+    ]
+    return format_table(rows, title="Figure 13: reduce-time distribution"), rows
+
+
+def _run_fig14a(args: argparse.Namespace) -> tuple[str, Any]:
+    rows = fig14a_post_sort_throughput(cost_scale=2.0)
+    return format_table(rows, title="Figure 14a: post-sort ablation"), rows
+
+
+def _run_fig14b(args: argparse.Namespace) -> tuple[str, Any]:
+    rows = fig14b_partition_overhead()
+    return format_table(rows, title="Figure 14b: partitioning overhead"), rows
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], tuple[str, Any]]]] = {
+    "table1": ("Table 1 — dataset properties", _run_table1),
+    "fig6": ("Figure 6 — B-BPFI assignment trade-offs", _run_fig6),
+    "fig10": ("Figure 10 — BSI/BCI partitioning metrics", _run_fig10),
+    "fig11": ("Figure 11a-c — throughput vs batch interval", _run_fig11),
+    "fig11d": ("Figure 11d — throughput vs Zipf exponent", _run_fig11d),
+    "fig12": ("Figure 12 — resource elasticity", _run_fig12),
+    "fig13": ("Figure 13 — latency distribution", _run_fig13),
+    "fig14a": ("Figure 14a — post-sort throughput", _run_fig14a),
+    "fig14b": ("Figure 14b — partitioning overhead", _run_fig14b),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Prompt (SIGMOD 2020) reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument(
+        "--dataset",
+        default="tweets",
+        choices=["tweets", "tpch", "synd", "debs", "gcm"],
+        help="dataset for fig10",
+    )
+    run.add_argument(
+        "--direction", default="out", choices=["out", "in"], help="ramp for fig12"
+    )
+    run.add_argument(
+        "--quick", action="store_true", help="reduced-scale run for fig11/fig11d"
+    )
+    run.add_argument(
+        "--no-save", action="store_true", help="skip writing benchmarks/results JSON"
+    )
+
+    sub.add_parser("quickstart", help="run the quickstart demo")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (description, _) in sorted(EXPERIMENTS.items()):
+            print(f"{name:8s}  {description}")
+        return 0
+    if args.command == "quickstart":
+        # Local import: examples are not part of the installed package.
+        from repro import EngineConfig, MicroBatchEngine, make_partitioner
+        from repro.queries import select_top_k, wordcount_query
+        from repro.workloads import tweets_source
+
+        engine = MicroBatchEngine(
+            make_partitioner("prompt"),
+            wordcount_query(window_length=10.0),
+            EngineConfig(batch_interval=1.0, num_blocks=8, num_reducers=8),
+        )
+        result = engine.run(tweets_source(rate=5_000.0, seed=42), num_batches=12)
+        print(f"throughput: {result.stats.throughput():,.0f} tuples/s")
+        print(f"mean latency: {result.stats.mean_latency():.3f}s")
+        for word, count in select_top_k(result.final_window_answer(), 5):
+            print(f"  {word:>8}  {count}")
+        return 0
+
+    _, runner = EXPERIMENTS[args.experiment]
+    text, payload = runner(args)
+    print(text)
+    if not args.no_save:
+        path = save_results(f"cli_{args.experiment}", payload)
+        print(f"\nresults saved to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,418 @@
+"""Load-balanced batch partitioning — the B-BPFI heuristic (Algorithm 2).
+
+The batching-phase partitioning problem is modelled as *Balanced Bin
+Packing with Fragmentable Items* (Definition 1): keys are items whose
+size is their tuple count, blocks are equal-capacity bins, and the goal
+is equal bin sizes, balanced per-bin cardinality, and minimal item
+fragmentation — NP-complete (Theorem 1).
+
+Two strategies are provided:
+
+- ``"greedy"`` (default) — the BestFitDecreasing realization.  The paper
+  motivates its zigzag pass as achieving "the effect of
+  BestFitDecreasing without the need and cost to maintain the block
+  sizes"; this strategy *does* maintain block state and picks, for each
+  key in quasi-sorted descending order, the lowest-cardinality block
+  with room (requirement 2 of Definition 1, ties broken BestFit),
+  fragmenting a key over the roomiest blocks only when no single block
+  can hold it (requirement 3).  Equal block sizes fall out of the
+  capacity bound (requirement 1).  O(K * B); B is small (<= cores).
+
+- ``"zigzag"`` — the literal three-pass text of Algorithm 2: an
+  ``S_cut`` split pass round-robin over blocks, a boustrophedon deal of
+  the remaining keys, and a locality-first BestFit residual pass.  It
+  avoids per-block bookkeeping, but when residual volume is large and
+  uneven (high-cardinality batches) the spill placement concentrates
+  keys on the emptiest blocks, inflating BCI — the ablation bench
+  quantifies the gap, which is why ``"greedy"`` is the default.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .batch import BatchInfo, DataBlock, PartitionedBatch
+from .config import PartitionerConfig
+from .tuples import Key, KeyGroup, StreamTuple, _order_token
+
+__all__ = ["PromptBatchPartitioner", "split_group_by_weight"]
+
+
+def split_group_by_weight(
+    tuples: Sequence[StreamTuple], cut: int
+) -> tuple[list[StreamTuple], list[StreamTuple]]:
+    """Split a key's tuple chain into a fragment of weight >= ``cut`` and a rest.
+
+    With unit weights the fragment holds exactly ``cut`` tuples.  With
+    variable weights the fragment is the shortest prefix reaching the
+    cut, mirroring the paper's "put ``S_cut`` fragment" step.
+    """
+    if cut <= 0:
+        return [], list(tuples)
+    acc = 0
+    for i, t in enumerate(tuples):
+        acc += t.weight
+        if acc >= cut:
+            return list(tuples[: i + 1]), list(tuples[i + 1 :])
+    return list(tuples), []
+
+
+@dataclass(slots=True)
+class _Residual:
+    """A parked residual fragment of a split key (zigzag strategy)."""
+
+    key: Key
+    tuples: list[StreamTuple]
+    home_block: int  # lookupLargePos(k): block holding the first fragment
+
+    @property
+    def size(self) -> int:
+        return sum(t.weight for t in self.tuples)
+
+
+class PromptBatchPartitioner:
+    """Algorithm 2: partition a quasi-sorted batch into ``p`` data blocks."""
+
+    def __init__(
+        self,
+        config: PartitionerConfig | None = None,
+        *,
+        strategy: str = "greedy",
+    ) -> None:
+        if strategy not in ("greedy", "zigzag"):
+            raise ValueError(
+                f"strategy must be 'greedy' or 'zigzag', got {strategy!r}"
+            )
+        self.config = config or PartitionerConfig()
+        self.strategy = strategy
+
+    def partition(
+        self,
+        key_groups: Sequence[KeyGroup],
+        num_blocks: int,
+        info: BatchInfo,
+    ) -> PartitionedBatch:
+        """Assign every tuple of ``key_groups`` to one of ``num_blocks`` blocks.
+
+        ``key_groups`` must be (quasi-)sorted by descending size — the
+        accumulator's traversal order.  The output's reference table
+        (``split_keys``) records every fragmented key.
+        """
+        if num_blocks < 1:
+            raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+        blocks = [DataBlock(i) for i in range(num_blocks)]
+        placements: dict[Key, set[int]] = {}
+        total_weight = sum(g.size for g in key_groups)
+        if not key_groups or total_weight == 0:
+            return PartitionedBatch(
+                info=info, blocks=blocks, split_keys={}, partitioner_name="prompt"
+            )
+
+        # Line 1-3: expected block size, cardinality, and split cutoff.
+        p_size = math.ceil(total_weight / num_blocks)
+        p_card = max(1, len(key_groups) // num_blocks)
+        s_cut = max(1, int((p_size / p_card) * self.config.split_cutoff_scale))
+
+        if self.strategy == "greedy":
+            self._greedy_assign(key_groups, blocks, placements, p_size)
+        else:
+            residuals, whole_groups = self._split_pass(
+                key_groups, blocks, placements, s_cut
+            )
+            self._zigzag_pass(whole_groups, blocks, placements)
+            self._residual_pass(residuals, blocks, placements, p_size)
+
+        split_keys = {
+            k: tuple(sorted(ixs)) for k, ixs in placements.items() if len(ixs) > 1
+        }
+        return PartitionedBatch(
+            info=info,
+            blocks=blocks,
+            split_keys=split_keys,
+            partitioner_name="prompt",
+        )
+
+    # ------------------------------------------------------------------
+    # greedy (LPT split + zigzag) strategy
+    # ------------------------------------------------------------------
+    def _greedy_assign(
+        self,
+        key_groups: Sequence[KeyGroup],
+        blocks: list[DataBlock],
+        placements: dict[Key, set[int]],
+        p_size: int,
+    ) -> None:
+        """BestFitDecreasing over split keys, then the zigzag deal.
+
+        Split keys (size > ``S_cut``) carry nearly all the size variance;
+        placing each on the currently least-loaded block (LPT — the
+        decreasing-order BestFit the zigzag pass emulates) equalizes the
+        per-block *split volume*, so the subsequent equal-count zigzag
+        deal of the remaining keys lands on blocks with equal headroom —
+        balancing size and cardinality simultaneously.  A key bigger
+        than half a block is diced into half-block chunks first
+        (requirement 3: minimal fragments, each split key touches
+        ``ceil(size / (p_size/2))`` blocks at most).
+        """
+        s_cut = max(
+            1,
+            int(
+                (p_size / max(1, len(key_groups) // len(blocks)))
+                * self.config.split_cutoff_scale
+            ),
+        )
+        # Chunk size for dicing hot keys: at least half a block (so no
+        # block is monopolized under extreme skew and every block keeps
+        # headroom for small keys), but when the expected per-block
+        # cardinality is tiny (keys comparable to blocks, the Figure 5/6
+        # regime) chunks grow toward a full block so each hot key spans
+        # the minimal number of blocks.
+        chunk_cap = max(1, max(p_size // 2, min(p_size - 1, 2 * s_cut)))
+
+        split_groups = [g for g in key_groups if g.size > s_cut]
+        small_groups = [g for g in key_groups if g.size <= s_cut]
+
+        # Phase 1: LPT placement of split keys, diced to chunks.
+        for group in split_groups:
+            placed = placements.setdefault(group.key, set())
+            tuples: Sequence[StreamTuple] = group.tuples
+            while tuples:
+                chunk, tuples = split_group_by_weight(tuples, chunk_cap)
+                target = min(blocks, key=lambda b: (b.size, b.cardinality, b.index))
+                target.add_fragment(group.key, chunk)
+                placed.add(target.index)
+
+        # Phase 2: zigzag deal of the small keys (equal counts per block;
+        # quasi-sorted order keeps per-pass sizes comparable).  Blocks
+        # already filled by hot-key chunks sit out (capacity awareness —
+        # under extreme skew a block can be mostly hot key).
+        self._zigzag_pass(small_groups, blocks, placements, capacity=p_size)
+
+        # Phase 3: smooth the leftover size imbalance by relocating the
+        # smallest fragments from overfull blocks to underfull ones —
+        # cheap (touches only the slack), and only non-split singles
+        # move so KSR is unaffected.
+        self._rebalance_sizes(blocks, placements, p_size)
+
+    def _rebalance_sizes(
+        self,
+        blocks: list[DataBlock],
+        placements: dict[Key, set[int]],
+        p_size: int,
+    ) -> None:
+        """Drain blocks above capacity into blocks with room.
+
+        Two kinds of moves, in preference order per step:
+
+        1. relocate a whole single-block key (no fragmentation cost);
+        2. *shave*: split the overfull block's largest fragment and ship
+           the excess — preferring a receiver that already holds the
+           key, so shaving usually extends an existing split instead of
+           fragmenting a new key.
+
+        Terminates when no block exceeds ``p_size`` (always reachable:
+        total size <= num_blocks * p_size) or the step guard trips.
+        """
+        # Overshoot within the global ceil slack (num_blocks * p_size -
+        # total) is already balanced to within a tuple per block; shaving
+        # it off would only fragment another key for nothing.
+        slack = len(blocks) * p_size - sum(b.size for b in blocks)
+        for _ in range(8 * len(blocks) + 8):
+            donor = max(blocks, key=lambda b: (b.size, b.index))
+            excess = donor.size - p_size
+            if excess <= min(slack, max(0, p_size // 64)) or excess <= 0:
+                return
+            receiver = min(blocks, key=lambda b: (b.size, b.cardinality, b.index))
+            room = p_size - receiver.size
+            if room <= 0:
+                return  # everything full; nothing can improve
+            # Move preference: (1) relocate a whole single-block key no
+            # bigger than the excess (gentle, no new fragments);
+            # (2) shave the largest fragment — preferring a receiver
+            # already holding that key, so shaving extends an existing
+            # split; (3) as a last resort for coarse tuple weights,
+            # relocate a whole key bigger than the excess (donor drops
+            # below capacity, receiver stays within it).
+            singles = [
+                (fsize, _order_token(k), k)
+                for k, fsize in donor.fragment_sizes().items()
+                if len(placements.get(k, ())) == 1
+            ]
+            admissible = [
+                (fsize, token, k)
+                for fsize, token, k in singles
+                if 0 < fsize <= room and donor.size - fsize >= receiver.size
+            ]
+            within = [a for a in admissible if a[0] <= excess]
+            if within:
+                fsize, _, key = min(within)
+                receiver.add_fragment(key, donor.remove_fragment(key))
+                placements[key] = {receiver.index}
+                continue
+            # Move 2: shave the donor's largest fragment.
+            fsize, _, key = max(
+                (fs, _order_token(k), k)
+                for k, fs in donor.fragment_sizes().items()
+            )
+            holders = [
+                b
+                for b in blocks
+                if b is not donor and key in b and b.size < p_size
+            ]
+            shave_receiver = receiver
+            shave_room = room
+            if holders:
+                shave_receiver = max(holders, key=lambda b: (p_size - b.size, -b.index))
+                shave_room = p_size - shave_receiver.size
+            piece = min(excess, shave_room, fsize)
+            moved = False
+            if piece > 0:
+                chain = donor.remove_fragment(key)
+                keep, move = split_group_by_weight(chain, fsize - piece)
+                if move:
+                    if keep:
+                        donor.add_fragment(key, keep)
+                    else:
+                        placements[key].discard(donor.index)
+                    shave_receiver.add_fragment(key, move)
+                    placements[key].add(shave_receiver.index)
+                    moved = True
+                else:
+                    # Indivisible tuple weights: the shave cannot carve
+                    # this piece off; restore and fall through.
+                    donor.add_fragment(key, keep)
+            if moved:
+                continue
+            if admissible:
+                fsize, _, key = min(admissible)
+                receiver.add_fragment(key, donor.remove_fragment(key))
+                placements[key] = {receiver.index}
+                continue
+            return  # nothing improves within the item granularity
+
+    # ------------------------------------------------------------------
+    # literal zigzag strategy (Algorithm 2 as printed)
+    # ------------------------------------------------------------------
+    def _split_pass(
+        self,
+        key_groups: Sequence[KeyGroup],
+        blocks: list[DataBlock],
+        placements: dict[Key, set[int]],
+        s_cut: int,
+    ) -> tuple[list[_Residual], list[KeyGroup]]:
+        """Lines 5-9: fragment high-frequency keys.
+
+        Because the input is only *quasi*-sorted, we scan the whole list
+        for oversize keys rather than stopping at the first small one —
+        a stale tracked count must not exempt a genuinely large key.
+        """
+        residuals: list[_Residual] = []
+        whole: list[KeyGroup] = []
+        cursor = 0
+        num_blocks = len(blocks)
+        for group in key_groups:
+            if group.size > s_cut:
+                fragment, rest = split_group_by_weight(group.tuples, s_cut)
+                target = cursor % num_blocks
+                blocks[target].add_fragment(group.key, fragment)
+                placements.setdefault(group.key, set()).add(target)
+                cursor += 1
+                if rest:
+                    residuals.append(
+                        _Residual(key=group.key, tuples=rest, home_block=target)
+                    )
+            else:
+                whole.append(group)
+        return residuals, whole
+
+    def _zigzag_pass(
+        self,
+        key_groups: Sequence[KeyGroup],
+        blocks: list[DataBlock],
+        placements: dict[Key, set[int]],
+        capacity: int | None = None,
+    ) -> None:
+        """Lines 10-16: deal unsplit keys one per block, reversing each pass.
+
+        With ``capacity`` set, blocks at or over it sit out the deal
+        (re-checked at every pass boundary); if everything is full the
+        deal continues over all blocks — the rebalance phase mops up.
+        """
+        order = [b.index for b in blocks]
+        i = len(order)  # force order (re)build on first key
+        for group in key_groups:
+            if i >= len(order):
+                if capacity is not None:
+                    open_ixs = [b.index for b in blocks if b.size < capacity]
+                    order = open_ixs if open_ixs else [b.index for b in blocks]
+                order.reverse()
+                i = 0
+            target = order[i]
+            blocks[target].add_fragment(group.key, group.tuples)
+            placements.setdefault(group.key, set()).add(target)
+            i += 1
+
+    def _residual_pass(
+        self,
+        residuals: list[_Residual],
+        blocks: list[DataBlock],
+        placements: dict[Key, set[int]],
+        p_size: int,
+    ) -> None:
+        """Lines 17-25: place residuals, preferring key locality, then BestFit."""
+        for residual in residuals:
+            self._place_residual(residual, blocks, placements, p_size)
+
+    def _place_residual(
+        self,
+        residual: _Residual,
+        blocks: list[DataBlock],
+        placements: dict[Key, set[int]],
+        p_size: int,
+    ) -> None:
+        key = residual.key
+        tuples = residual.tuples
+        placed = placements.setdefault(key, set())
+
+        def remaining(block: DataBlock) -> int:
+            return p_size - block.size
+
+        # Key locality first: the block that already holds the key's
+        # large fragment (lines 18-22).
+        home = blocks[residual.home_block]
+        size = sum(t.weight for t in tuples)
+        if size <= remaining(home):
+            home.add_fragment(key, tuples)
+            placed.add(home.index)
+            return
+        if remaining(home) > 0:
+            head, tuples = split_group_by_weight(tuples, remaining(home))
+            home.add_fragment(key, head)
+            placed.add(home.index)
+
+        # BestFit for the rest: among blocks that can hold it whole,
+        # prefer the lowest-cardinality one, breaking ties toward the
+        # fullest; fragment across successively fuller blocks only when
+        # nothing fits.
+        while tuples:
+            size = sum(t.weight for t in tuples)
+            open_blocks = [b for b in blocks if remaining(b) > 0]
+            if not open_blocks:
+                fallback = min(blocks, key=lambda b: (b.size, b.index))
+                fallback.add_fragment(key, tuples)
+                placed.add(fallback.index)
+                return
+            fitting = [b for b in open_blocks if remaining(b) >= size]
+            if fitting:
+                best = min(
+                    fitting, key=lambda b: (b.cardinality, remaining(b), b.index)
+                )
+                best.add_fragment(key, tuples)
+                placed.add(best.index)
+                return
+            roomiest = max(open_blocks, key=lambda b: (remaining(b), -b.index))
+            head, tuples = split_group_by_weight(tuples, remaining(roomiest))
+            roomiest.add_fragment(key, head)
+            placed.add(roomiest.index)

@@ -1,0 +1,145 @@
+"""Configuration objects shared across Prompt's components.
+
+Every tunable named in the paper lives here with its paper default:
+
+- MPI weights ``p1=p2=p3=1/3`` (Section 3.3),
+- accumulator update ``budget`` and initial frequency step (Section 4.1),
+- early-release slack of 5% of the batch interval (Section 4.2),
+- elasticity thresholds ``thres=90%``, ``step=10%``, window ``d``
+  (Algorithm 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class AccumulatorConfig:
+    """Settings for the frequency-aware buffering stage (Algorithm 1).
+
+    ``budget`` is the maximum number of CountTree repositionings a single
+    key may trigger within one batch interval.  ``expected_tuples`` and
+    ``expected_keys`` seed the initial frequency step
+    ``f = N_est / (K_avg * budget)``; both adapt from observed history
+    once at least one batch has completed.
+    """
+
+    budget: int = 8
+    expected_tuples: int = 10_000
+    expected_keys: int = 100
+    history_window: int = 4
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError(f"budget must be >= 1, got {self.budget}")
+        if self.expected_tuples < 1:
+            raise ValueError("expected_tuples must be >= 1")
+        if self.expected_keys < 1:
+            raise ValueError("expected_keys must be >= 1")
+        if self.history_window < 1:
+            raise ValueError("history_window must be >= 1")
+
+    @property
+    def initial_frequency_step(self) -> int:
+        """``f = N_est / (K_avg * budget)``, at least 1."""
+        return max(1, self.expected_tuples // (self.expected_keys * self.budget))
+
+
+@dataclass(frozen=True, slots=True)
+class MPIWeights:
+    """Weights of the Micro-batch Partitioning-Imbalance metric (Eqn. 6).
+
+    ``p1`` scales size imbalance (BSI), ``p2`` cardinality imbalance
+    (BCI), ``p3`` the key-split ratio (KSR).  They must sum to 1.
+    ``p1=1`` reproduces shuffle-like behaviour, ``p3=1`` hash-like
+    (Section 3.3).
+    """
+
+    p1: float = 1.0 / 3.0
+    p2: float = 1.0 / 3.0
+    p3: float = 1.0 / 3.0
+
+    def __post_init__(self) -> None:
+        for name, value in (("p1", self.p1), ("p2", self.p2), ("p3", self.p3)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        total = self.p1 + self.p2 + self.p3
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"MPI weights must sum to 1, got {total}")
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionerConfig:
+    """Settings for the micro-batch partitioner (Algorithm 2)."""
+
+    weights: MPIWeights = field(default_factory=MPIWeights)
+    # Multiplier on the key-split cutoff S_cut = P_size / P_|k|; 1.0 is the
+    # paper's rule, ablations sweep 0.5 and 2.0.
+    split_cutoff_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.split_cutoff_scale <= 0:
+            raise ValueError("split_cutoff_scale must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class EarlyReleaseConfig:
+    """Early Batch Release (Section 4.2, Figure 7).
+
+    The batching cut-off precedes the heartbeat by
+    ``slack_fraction * batch_interval``; the paper observes 5% suffices.
+    """
+
+    slack_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.slack_fraction < 1.0:
+            raise ValueError(
+                f"slack_fraction must be in [0, 1), got {self.slack_fraction}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class ElasticityConfig:
+    """Latency-aware auto-scale settings (Algorithm 4, Figure 9).
+
+    ``threshold`` is the upper load threshold on
+    ``W = processing_time / batch_interval`` (paper: 90%); ``step`` the
+    scale-in hysteresis increment (paper: 10%); ``window`` the number of
+    consecutive batches ``d`` a condition must hold; ``grace`` the number
+    of batches after an action during which no reverse decision is made.
+    """
+
+    threshold: float = 0.90
+    step: float = 0.10
+    window: int = 3
+    grace: int = 3
+    min_map_tasks: int = 1
+    max_map_tasks: int = 64
+    min_reduce_tasks: int = 1
+    max_reduce_tasks: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 2.0:
+            raise ValueError(f"threshold must be in (0, 2], got {self.threshold}")
+        if not 0.0 < self.step < self.threshold:
+            raise ValueError("step must be positive and below threshold")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.grace < 0:
+            raise ValueError("grace must be >= 0")
+        if not 1 <= self.min_map_tasks <= self.max_map_tasks:
+            raise ValueError("need 1 <= min_map_tasks <= max_map_tasks")
+        if not 1 <= self.min_reduce_tasks <= self.max_reduce_tasks:
+            raise ValueError("need 1 <= min_reduce_tasks <= max_reduce_tasks")
+
+
+@dataclass(frozen=True, slots=True)
+class PromptConfig:
+    """Top-level configuration bundle for the Prompt scheme."""
+
+    accumulator: AccumulatorConfig = field(default_factory=AccumulatorConfig)
+    partitioner: PartitionerConfig = field(default_factory=PartitionerConfig)
+    early_release: EarlyReleaseConfig = field(default_factory=EarlyReleaseConfig)
+    elasticity: ElasticityConfig = field(default_factory=ElasticityConfig)

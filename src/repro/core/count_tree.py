@@ -1,0 +1,335 @@
+"""CountTree: a balanced BST of per-key frequency counting nodes.
+
+Section 4.1 of the paper keeps "approximate frequency counts of the keys
+... in a balanced binary search tree *CountTree*.  Every key in HTable
+has a bi-directional pointer to a designated counting node in CountTree."
+An in-order traversal at the end of the batch interval yields a
+quasi-sorted list of keys by frequency with no dedicated sorting step.
+
+This module implements an AVL tree ordered by ``(count, tiebreak)``.
+Each key owns exactly one node; updating a key's count repositions the
+node (delete + re-insert), which is the `O(log K)` operation whose
+*frequency* the budget mechanism in Algorithm 1 bounds.  The HTable side
+holds a direct reference to the node (the "bi-directional pointer"), so
+an update never searches for the key.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Optional
+
+from .tuples import Key, _order_token
+
+__all__ = ["CountNode", "CountTree"]
+
+
+class CountNode:
+    """A counting node: one per distinct key currently in the tree."""
+
+    __slots__ = ("key", "count", "_token", "left", "right", "parent", "height")
+
+    def __init__(self, key: Key, count: int) -> None:
+        self.key = key
+        self.count = count
+        self._token = _order_token(key)
+        self.left: Optional[CountNode] = None
+        self.right: Optional[CountNode] = None
+        self.parent: Optional[CountNode] = None
+        self.height = 1
+
+    def sort_key(self) -> tuple[int, str]:
+        return (self.count, self._token)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CountNode(key={self.key!r}, count={self.count})"
+
+
+def _height(node: Optional[CountNode]) -> int:
+    return node.height if node is not None else 0
+
+
+def _update_height(node: CountNode) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _balance_factor(node: CountNode) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+class CountTree:
+    """AVL tree of :class:`CountNode` ordered by ``(count, key token)``.
+
+    The tree supports:
+
+    - ``insert(key, count) -> CountNode`` — add a new counting node and
+      return a handle for later updates.
+    - ``update(node, new_count)`` — reposition an existing node.
+    - ``remove(node)`` — detach a node.
+    - in-order traversal (ascending) and reverse traversal (descending),
+      the latter feeding Algorithm 2 which consumes keys largest-first.
+
+    All operations are `O(log K)`.  The tree never stores two nodes for
+    one key; that invariant is owned by the accumulator/HTable layer.
+    """
+
+    __slots__ = ("_root", "_size")
+
+    def __init__(self) -> None:
+        self._root: Optional[CountNode] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+    def insert(self, key: Key, count: int = 1) -> CountNode:
+        """Insert a new counting node and return its handle."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        node = CountNode(key, count)
+        self._insert_node(node)
+        self._size += 1
+        return node
+
+    def update(self, node: CountNode, new_count: int) -> None:
+        """Move ``node`` to the position implied by ``new_count``.
+
+        This is the coarse-grained update Algorithm 1 rations with the
+        per-key budget: each call costs one delete plus one insert.
+        """
+        if new_count < 0:
+            raise ValueError(f"count must be non-negative, got {new_count}")
+        if new_count == node.count:
+            return
+        self._detach_node(node)
+        node.count = new_count
+        node.left = node.right = node.parent = None
+        node.height = 1
+        self._insert_node(node)
+
+    def remove(self, node: CountNode) -> None:
+        """Detach ``node`` from the tree."""
+        self._detach_node(node)
+        node.left = node.right = node.parent = None
+        node.height = 1
+        self._size -= 1
+
+    def clear(self) -> None:
+        """Drop all nodes (end-of-interval reset in Algorithm 1)."""
+        self._root = None
+        self._size = 0
+
+    def in_order(self) -> Iterator[CountNode]:
+        """Ascending ``(count, key)`` traversal."""
+        yield from self._walk(self._root, reverse=False)
+
+    def in_order_desc(self) -> Iterator[CountNode]:
+        """Descending traversal — highest-frequency keys first."""
+        yield from self._walk(self._root, reverse=True)
+
+    def min_node(self) -> Optional[CountNode]:
+        node = self._root
+        if node is None:
+            return None
+        while node.left is not None:
+            node = node.left
+        return node
+
+    def max_node(self) -> Optional[CountNode]:
+        node = self._root
+        if node is None:
+            return None
+        while node.right is not None:
+            node = node.right
+        return node
+
+    # ------------------------------------------------------------------
+    # verification helpers (used by the test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if AVL or BST invariants are violated."""
+        count = self._check(self._root, None)
+        assert count == self._size, f"size mismatch: walked {count}, recorded {self._size}"
+
+    def _check(self, node: Optional[CountNode], parent: Optional[CountNode]) -> int:
+        if node is None:
+            return 0
+        assert node.parent is parent, f"broken parent link at {node!r}"
+        assert abs(_balance_factor(node)) <= 1, f"unbalanced at {node!r}"
+        expected = 1 + max(_height(node.left), _height(node.right))
+        assert node.height == expected, f"stale height at {node!r}"
+        if node.left is not None:
+            assert node.left.sort_key() <= node.sort_key(), "BST order violated (left)"
+        if node.right is not None:
+            assert node.right.sort_key() >= node.sort_key(), "BST order violated (right)"
+        return 1 + self._check(node.left, node) + self._check(node.right, node)
+
+    # ------------------------------------------------------------------
+    # AVL internals
+    # ------------------------------------------------------------------
+    def _walk(self, node: Optional[CountNode], *, reverse: bool) -> Iterator[CountNode]:
+        # Iterative traversal: batch key cardinality can reach 100k+
+        # (Section 4.1), far past Python's recursion limit.
+        stack: list[CountNode] = []
+        current = node
+        while stack or current is not None:
+            while current is not None:
+                stack.append(current)
+                current = current.right if reverse else current.left
+            current = stack.pop()
+            yield current
+            current = current.left if reverse else current.right
+
+    def _insert_node(self, node: CountNode) -> None:
+        if self._root is None:
+            self._root = node
+            return
+        cursor = self._root
+        key = node.sort_key()
+        while True:
+            if key < cursor.sort_key():
+                if cursor.left is None:
+                    cursor.left = node
+                    node.parent = cursor
+                    break
+                cursor = cursor.left
+            else:
+                if cursor.right is None:
+                    cursor.right = node
+                    node.parent = cursor
+                    break
+                cursor = cursor.right
+        self._rebalance_up(node.parent)
+
+    def _detach_node(self, node: CountNode) -> None:
+        if node.left is not None and node.right is not None:
+            # Swap positions with in-order successor, then delete there.
+            successor = node.right
+            while successor.left is not None:
+                successor = successor.left
+            self._swap_nodes(node, successor)
+        # node now has at most one child
+        child = node.left if node.left is not None else node.right
+        parent = node.parent
+        if child is not None:
+            child.parent = parent
+        if parent is None:
+            self._root = child
+        elif parent.left is node:
+            parent.left = child
+        else:
+            parent.right = child
+        self._rebalance_up(parent)
+
+    def _swap_nodes(self, a: CountNode, b: CountNode) -> None:
+        """Exchange the tree positions of ``a`` and ``b``.
+
+        We swap positions (not payloads) so that external handles held by
+        the HTable stay valid — the whole point of the bi-directional
+        pointer design.
+        """
+        a_parent, a_left, a_right, a_height = a.parent, a.left, a.right, a.height
+        b_parent, b_left, b_right, b_height = b.parent, b.left, b.right, b.height
+
+        def relink(parent: Optional[CountNode], old: CountNode, new: CountNode) -> None:
+            if parent is None:
+                self._root = new
+            elif parent.left is old:
+                parent.left = new
+            else:
+                parent.right = new
+
+        if b_parent is a:
+            # b is a's direct child
+            relink(a_parent, a, b)
+            b.parent = a_parent
+            a.parent = b
+            if a_left is b:
+                b.left, b.right = a, a_right
+                if a_right is not None:
+                    a_right.parent = b
+            else:
+                b.left, b.right = a_left, a
+                if a_left is not None:
+                    a_left.parent = b
+            a.left, a.right = b_left, b_right
+        else:
+            relink(a_parent, a, b)
+            relink(b_parent, b, a)
+            a.parent, b.parent = b_parent, a_parent
+            a.left, b.left = b_left, a_left
+            a.right, b.right = b_right, a_right
+            if a_left is not None:
+                a_left.parent = b
+            if a_right is not None:
+                a_right.parent = b
+            if b_left is not None:
+                b_left.parent = a
+            if b_right is not None:
+                b_right.parent = a
+        a.height, b.height = b_height, a_height
+        if a.left is not None:
+            a.left.parent = a
+        if a.right is not None:
+            a.right.parent = a
+        if b.left is not None:
+            b.left.parent = b
+        if b.right is not None:
+            b.right.parent = b
+
+    def _rebalance_up(self, node: Optional[CountNode]) -> None:
+        while node is not None:
+            _update_height(node)
+            balance = _balance_factor(node)
+            if balance > 1:
+                assert node.left is not None
+                if _balance_factor(node.left) < 0:
+                    self._rotate_left(node.left)
+                node = self._rotate_right(node)
+            elif balance < -1:
+                assert node.right is not None
+                if _balance_factor(node.right) > 0:
+                    self._rotate_right(node.right)
+                node = self._rotate_left(node)
+            node = node.parent
+
+    def _rotate_left(self, node: CountNode) -> CountNode:
+        pivot = node.right
+        assert pivot is not None
+        node.right = pivot.left
+        if pivot.left is not None:
+            pivot.left.parent = node
+        pivot.left = node
+        self._replace_in_parent(node, pivot)
+        node.parent = pivot
+        _update_height(node)
+        _update_height(pivot)
+        return pivot
+
+    def _rotate_right(self, node: CountNode) -> CountNode:
+        pivot = node.left
+        assert pivot is not None
+        node.left = pivot.right
+        if pivot.right is not None:
+            pivot.right.parent = node
+        pivot.right = node
+        self._replace_in_parent(node, pivot)
+        node.parent = pivot
+        _update_height(node)
+        _update_height(pivot)
+        return pivot
+
+    def _replace_in_parent(self, old: CountNode, new: CountNode) -> None:
+        parent = old.parent
+        new.parent = parent
+        if parent is None:
+            self._root = new
+        elif parent.left is old:
+            parent.left = new
+        else:
+            parent.right = new

@@ -1,0 +1,208 @@
+"""Latency-aware auto-scaling (Section 6, Algorithm 4, Figure 9).
+
+Prompt monitors ``W = processing_time / batch_interval`` and divides the
+operating space into three elasticity zones:
+
+- **Zone 1** (``W <= threshold - step``): under-utilized — tasks can be
+  removed without violating latency.
+- **Zone 2** (``threshold - step < W <= threshold``): the widened
+  stability band; no action (it absorbs short spikes and lazily defers
+  scale-in).
+- **Zone 3** (``W > threshold``): overloaded — batches will queue; more
+  tasks are required.
+
+A scale-out fires when Zone 3 persists for ``d`` consecutive batches; a
+scale-in when Zone 1 persists for ``d`` batches.  The *kind* of task
+added/removed follows the workload statistics collected by the
+frequency-aware accumulator over the same window: a rising data rate
+adds Map tasks, a rising key count (data distribution) adds Reduce
+tasks, both rising adds both.  After any action a grace period of ``d``
+batches suppresses reverse decisions (Algorithm 4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import IntEnum
+
+from .config import ElasticityConfig
+
+__all__ = ["Zone", "ScalingDecision", "AutoScaler"]
+
+
+class Zone(IntEnum):
+    """Elasticity zones of Figure 9b."""
+
+    UNDER_UTILIZED = 1
+    STABLE = 2
+    OVERLOADED = 3
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingDecision:
+    """Outcome of observing one batch."""
+
+    zone: Zone
+    map_delta: int
+    reduce_delta: int
+    map_tasks: int
+    reduce_tasks: int
+    load: float
+    reason: str
+
+    @property
+    def acted(self) -> bool:
+        return self.map_delta != 0 or self.reduce_delta != 0
+
+
+@dataclass(frozen=True, slots=True)
+class _BatchObservation:
+    load: float
+    data_rate: float
+    key_count: int
+
+
+class AutoScaler:
+    """Threshold-based parallelism controller (Algorithm 4)."""
+
+    def __init__(
+        self,
+        config: ElasticityConfig | None = None,
+        *,
+        map_tasks: int = 4,
+        reduce_tasks: int = 4,
+    ) -> None:
+        self.config = config or ElasticityConfig()
+        cfg = self.config
+        if not cfg.min_map_tasks <= map_tasks <= cfg.max_map_tasks:
+            raise ValueError(f"initial map_tasks {map_tasks} outside configured bounds")
+        if not cfg.min_reduce_tasks <= reduce_tasks <= cfg.max_reduce_tasks:
+            raise ValueError(
+                f"initial reduce_tasks {reduce_tasks} outside configured bounds"
+            )
+        self.map_tasks = map_tasks
+        self.reduce_tasks = reduce_tasks
+        self._history: deque[_BatchObservation] = deque(maxlen=2 * cfg.window)
+        self._over_count = 0
+        self._under_count = 0
+        self._grace_left = 0
+
+    # ------------------------------------------------------------------
+    def zone_for(self, load: float) -> Zone:
+        cfg = self.config
+        if load > cfg.threshold:
+            return Zone.OVERLOADED
+        if load <= cfg.threshold - cfg.step:
+            return Zone.UNDER_UTILIZED
+        return Zone.STABLE
+
+    def observe(
+        self,
+        processing_time: float,
+        batch_interval: float,
+        *,
+        data_rate: float,
+        key_count: int,
+    ) -> ScalingDecision:
+        """Feed one completed batch's statistics; maybe adjust parallelism.
+
+        ``data_rate`` and ``key_count`` are the accumulator's statistics
+        for the batch (Section 4.1); they steer *which* stage scales.
+        """
+        if batch_interval <= 0:
+            raise ValueError("batch_interval must be positive")
+        load = processing_time / batch_interval
+        obs = _BatchObservation(load=load, data_rate=data_rate, key_count=key_count)
+        self._history.append(obs)
+        zone = self.zone_for(load)
+
+        if zone is Zone.OVERLOADED:
+            self._over_count += 1
+            self._under_count = 0
+        elif zone is Zone.UNDER_UTILIZED:
+            self._under_count += 1
+            self._over_count = 0
+        else:
+            self._over_count = 0
+            self._under_count = 0
+
+        if self._grace_left > 0:
+            self._grace_left -= 1
+            return self._decision(zone, 0, 0, load, "grace period")
+
+        cfg = self.config
+        if zone is Zone.OVERLOADED and self._over_count >= cfg.window:
+            return self._scale(zone, load, direction=+1)
+        if zone is Zone.UNDER_UTILIZED and self._under_count >= cfg.window:
+            return self._scale(zone, load, direction=-1)
+        return self._decision(zone, 0, 0, load, "within stability band")
+
+    # ------------------------------------------------------------------
+    def _trends(self, direction: int) -> tuple[bool, bool]:
+        """Did data rate / key count move with ``direction`` over the window?
+
+        Compares the mean of the most recent ``d`` batches against the
+        mean of the ``d`` before them (with a short history, against the
+        oldest observation).  ``direction=+1`` asks for increases (scale
+        out), ``-1`` for decreases (scale in — "the same criteria",
+        Algorithm 4).
+        """
+        window = self.config.window
+        history = list(self._history)
+        recent = history[-window:]
+        earlier = history[:-window] or history[:1]
+        rate_now = sum(o.data_rate for o in recent) / len(recent)
+        rate_before = sum(o.data_rate for o in earlier) / len(earlier)
+        keys_now = sum(o.key_count for o in recent) / len(recent)
+        keys_before = sum(o.key_count for o in earlier) / len(earlier)
+        if direction > 0:
+            return rate_now > rate_before, keys_now > keys_before
+        return rate_now < rate_before, keys_now < keys_before
+
+    def _scale(self, zone: Zone, load: float, *, direction: int) -> ScalingDecision:
+        cfg = self.config
+        rate_moved, keys_moved = self._trends(direction)
+        if not rate_moved and not keys_moved:
+            # The load moved without either statistic trending (e.g.
+            # heavier values per tuple).  The zone still demands action:
+            # default to adjusting the Map stage, which reads the raw
+            # input volume.
+            rate_moved = True
+        want_map = direction if rate_moved else 0
+        want_reduce = direction if keys_moved else 0
+
+        new_map = min(cfg.max_map_tasks, max(cfg.min_map_tasks, self.map_tasks + want_map))
+        new_reduce = min(
+            cfg.max_reduce_tasks, max(cfg.min_reduce_tasks, self.reduce_tasks + want_reduce)
+        )
+        map_delta = new_map - self.map_tasks
+        reduce_delta = new_reduce - self.reduce_tasks
+        self.map_tasks = new_map
+        self.reduce_tasks = new_reduce
+        if map_delta or reduce_delta:
+            self._grace_left = cfg.grace
+            self._over_count = 0
+            self._under_count = 0
+            verb = "scale-out" if direction > 0 else "scale-in"
+            moved = "up" if direction > 0 else "down"
+            reason = (
+                f"{verb}: rate {moved if rate_moved else 'flat'}, "
+                f"keys {moved if keys_moved else 'flat'}"
+            )
+        else:
+            reason = "at parallelism bounds"
+        return self._decision(zone, map_delta, reduce_delta, load, reason)
+
+    def _decision(
+        self, zone: Zone, map_delta: int, reduce_delta: int, load: float, reason: str
+    ) -> ScalingDecision:
+        return ScalingDecision(
+            zone=zone,
+            map_delta=map_delta,
+            reduce_delta=reduce_delta,
+            map_tasks=self.map_tasks,
+            reduce_tasks=self.reduce_tasks,
+            load=load,
+            reason=reason,
+        )

@@ -1,0 +1,52 @@
+"""Deterministic hashing utilities.
+
+Python's built-in ``hash`` is salted per process for ``str`` keys, which
+would make partitioning decisions (and therefore every experiment)
+non-reproducible across runs.  All partitioners route through
+:func:`stable_hash`, a seeded CRC32 over the key's canonical byte form.
+Multiple independent hash functions (the *d* candidate assignments of
+key-splitting baselines) come from distinct seeds.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Hashable
+
+__all__ = ["stable_hash", "hash_to_bucket", "candidate_buckets"]
+
+_SEED_MIX = 0x9E3779B9  # golden-ratio constant to decorrelate seeds
+
+
+def _key_bytes(key: Hashable) -> bytes:
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8", "surrogatepass")
+    if isinstance(key, int):
+        return key.to_bytes((key.bit_length() + 8) // 8 + 1, "little", signed=True)
+    return repr(key).encode("utf-8", "surrogatepass")
+
+
+def stable_hash(key: Hashable, seed: int = 0) -> int:
+    """A process-stable 32-bit hash of ``key`` under ``seed``."""
+    return zlib.crc32(_key_bytes(key), (seed * _SEED_MIX) & 0xFFFFFFFF)
+
+
+def hash_to_bucket(key: Hashable, num_buckets: int, seed: int = 0) -> int:
+    """Map ``key`` to one of ``num_buckets`` buckets."""
+    if num_buckets < 1:
+        raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+    return stable_hash(key, seed) % num_buckets
+
+
+def candidate_buckets(key: Hashable, num_buckets: int, d: int) -> list[int]:
+    """The *d* candidate buckets of key-splitting schemes (PK2: d=2, PK5: d=5).
+
+    Candidates are produced by ``d`` independent hash functions; they may
+    collide onto the same bucket for small ``num_buckets``, exactly as
+    with ``d`` real hash functions.
+    """
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    return [hash_to_bucket(key, num_buckets, seed=i + 1) for i in range(d)]

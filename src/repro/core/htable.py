@@ -1,0 +1,105 @@
+"""HTable: per-key tuple chains plus the auxiliary statistics of Alg. 1.
+
+Section 4.1: "The partitioning key of the incoming data tuples is used
+to store the tuples into the hash table ``HTable<K, V>``, where the
+value part is a pointer to the list of tuples for every key.  Also,
+HTable stores auxiliary statistics for each key, e.g., frequency count
+and other parameters that are utilized in the ... update mechanism."
+
+The update-eligibility bookkeeping (``f.step``, ``t.step``, remaining
+``budget``, last-updated frequency/time) lives on :class:`KeyRecord`;
+the decision logic itself is in :mod:`repro.core.buffering`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .count_tree import CountNode
+from .tuples import Key, StreamTuple
+
+__all__ = ["KeyRecord", "HTable"]
+
+
+@dataclass(slots=True)
+class KeyRecord:
+    """Chain of tuples for one key plus its update-mechanism state."""
+
+    key: Key
+    tuples: list[StreamTuple] = field(default_factory=list)
+    weight: int = 0
+    # --- Algorithm 1 auxiliary statistics ---
+    freq_current: int = 0       # exact frequency in this batch
+    freq_updated: int = 0       # frequency last reflected into CountTree
+    budget_left: int = 0        # remaining CountTree repositionings
+    f_step: int = 1             # frequency delta that triggers an update
+    t_step: float = 0.0         # time delta that triggers an update
+    last_update_time: float = 0.0
+    node: Optional[CountNode] = None  # bi-directional pointer to CountTree
+
+    def append(self, t: StreamTuple) -> None:
+        self.tuples.append(t)
+        self.weight += t.weight
+        self.freq_current += 1
+
+    @property
+    def pending_delta(self) -> int:
+        """Tuples received since the CountTree last saw this key."""
+        return self.freq_current - self.freq_updated
+
+
+class HTable:
+    """Hash table of :class:`KeyRecord` keyed by partitioning key."""
+
+    __slots__ = ("_records", "_tuple_count", "_weight")
+
+    def __init__(self) -> None:
+        self._records: dict[Key, KeyRecord] = {}
+        self._tuple_count = 0
+        self._weight = 0
+
+    def __len__(self) -> int:
+        """Number of distinct keys (``|K|`` in Algorithm 1)."""
+        return len(self._records)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._records
+
+    def __iter__(self) -> Iterator[KeyRecord]:
+        return iter(self._records.values())
+
+    @property
+    def tuple_count(self) -> int:
+        """Total number of tuples received (``N_C`` in Algorithm 1)."""
+        return self._tuple_count
+
+    @property
+    def weight(self) -> int:
+        """Total weight of all buffered tuples."""
+        return self._weight
+
+    def get(self, key: Key) -> Optional[KeyRecord]:
+        return self._records.get(key)
+
+    def record_for(self, key: Key) -> KeyRecord:
+        """Return the record for ``key``, creating it if absent."""
+        record = self._records.get(key)
+        if record is None:
+            record = KeyRecord(key=key)
+            self._records[key] = record
+        return record
+
+    def append(self, t: StreamTuple) -> KeyRecord:
+        """Chain ``t`` under its key and return the (possibly new) record."""
+        record = self.record_for(t.key)
+        record.append(t)
+        self._tuple_count += 1
+        self._weight += t.weight
+        return record
+
+    def clear(self) -> None:
+        """End-of-interval reset (Algorithm 1, line 1)."""
+        self._records.clear()
+        self._tuple_count = 0
+        self._weight = 0

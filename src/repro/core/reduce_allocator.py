@@ -1,0 +1,146 @@
+"""Processing-phase partitioning — the B-BPVC heuristic (Algorithm 3).
+
+After a Map task runs, its output is a set of *key clusters* (all values
+sharing a key).  Clusters must be routed to Reduce buckets such that
+(1) every fragment of a key — across *all* Map tasks — meets at one
+Reducer, and (2) bucket loads are even.  Global coordination among Map
+tasks would stall the pipeline, so Algorithm 3 makes purely local
+decisions:
+
+- Keys marked *split* in the block reference table are assigned by
+  hashing: every Map task hashes identically, so fragments of a split
+  key converge on one bucket with zero communication.
+- Non-split keys exist in exactly one Map task, which is therefore free
+  to place them: it sorts them by decreasing size and uses **WorstFit**
+  (roomiest bucket first) with *retirement* — a bucket that receives a
+  cluster leaves the candidate set until every bucket has received one —
+  promoting both size balance and cardinality balance.
+
+The underlying problem, bin packing into bins whose capacities were
+eroded unevenly by the hashed split keys, is *Balanced Bin Packing with
+Variable Capacity* (Definition 2), NP-complete (Theorem 2).  Because
+each Map task independently minimizes its own imbalance, the additive
+overall imbalance shrinks (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Collection, Mapping, Sequence
+
+from .hashing import hash_to_bucket
+from .tuples import Key, _order_token
+
+__all__ = ["KeyCluster", "BucketAssignment", "ReduceBucketAllocator", "hash_allocate"]
+
+
+@dataclass(frozen=True, slots=True)
+class KeyCluster:
+    """One key's portion of a Map task's intermediate output."""
+
+    key: Key
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"cluster size must be >= 0, got {self.size}")
+
+
+@dataclass(slots=True)
+class BucketAssignment:
+    """Cluster-to-bucket routing produced by one Map task."""
+
+    num_buckets: int
+    assignment: dict[Key, int] = field(default_factory=dict)
+    bucket_loads: list[int] = field(default_factory=list)
+
+    def load_of(self, bucket: int) -> int:
+        return self.bucket_loads[bucket]
+
+    @property
+    def max_load(self) -> int:
+        return max(self.bucket_loads, default=0)
+
+    @property
+    def imbalance(self) -> float:
+        """Bucket-size imbalance (Eqn. 3) of this task's own output."""
+        if not self.bucket_loads:
+            return 0.0
+        return self.max_load - sum(self.bucket_loads) / len(self.bucket_loads)
+
+
+def hash_allocate(
+    clusters: Sequence[KeyCluster], num_buckets: int
+) -> BucketAssignment:
+    """The conventional hashing assignment (Figure 8a) — baseline behaviour."""
+    out = BucketAssignment(num_buckets=num_buckets, bucket_loads=[0] * num_buckets)
+    for cluster in clusters:
+        bucket = hash_to_bucket(cluster.key, num_buckets)
+        out.assignment[cluster.key] = bucket
+        out.bucket_loads[bucket] += cluster.size
+    return out
+
+
+class ReduceBucketAllocator:
+    """Algorithm 3: local, load-aware Reduce bucket allocation."""
+
+    def __init__(self, num_buckets: int) -> None:
+        if num_buckets < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        self.num_buckets = num_buckets
+
+    def allocate(
+        self,
+        clusters: Sequence[KeyCluster],
+        split_keys: Collection[Key] | Mapping[Key, object] = (),
+    ) -> BucketAssignment:
+        """Route ``clusters`` to buckets given the block reference table.
+
+        ``split_keys`` is the set of keys this Map task must route by
+        hashing (they also exist in other blocks).
+        """
+        r = self.num_buckets
+        out = BucketAssignment(num_buckets=r, bucket_loads=[0] * r)
+        total = sum(c.size for c in clusters)
+        if total == 0 and not clusters:
+            return out
+
+        # Line 2: split keys go by hashing so all their fragments meet.
+        non_split: list[KeyCluster] = []
+        for cluster in clusters:
+            if cluster.key in split_keys:
+                bucket = hash_to_bucket(cluster.key, r)
+                out.assignment[cluster.key] = bucket
+                out.bucket_loads[bucket] += cluster.size
+            else:
+                non_split.append(cluster)
+
+        # Line 4: sort non-split clusters by decreasing size.
+        non_split.sort(key=lambda c: (-c.size, _order_token(c.key)))
+
+        # Lines 5-12: WorstFit with bucket retirement.  Capacity is the
+        # residual of the expected equal share Bucket_size = |C| / |R|
+        # after the hashed split keys landed (the variable capacities of
+        # B-BPVC); buckets eroded past their share (e.g. the one owning
+        # a hot split key) are excluded until nothing else has room —
+        # B-BPVC requirement (1) limits bucket overflow.
+        expected = -(-total // r) if total else 0  # ceil(|C| / |R|)
+
+        def capacity(j: int) -> int:
+            return expected - out.bucket_loads[j]
+
+        candidates = [j for j in range(r) if capacity(j) > 0]
+        for cluster in non_split:
+            if not candidates:
+                candidates = [j for j in range(r) if capacity(j) > 0]
+            if not candidates:
+                # Every bucket is at/over its share: fall back to the
+                # globally least-loaded bucket.
+                best = min(range(r), key=lambda j: (out.bucket_loads[j], j))
+            else:
+                # WorstFit: the candidate with maximum remaining capacity.
+                best = min(candidates, key=lambda j: (-capacity(j), j))
+                candidates.remove(best)
+            out.assignment[cluster.key] = best
+            out.bucket_loads[best] += cluster.size
+        return out

@@ -1,0 +1,71 @@
+"""Simulated distributed micro-batch stream processing engine."""
+
+from .backpressure import BackpressureConfig, BackpressureMonitor, run_is_stable
+from .checkpoint import (
+    CheckpointManager,
+    WindowSnapshot,
+    restore_window,
+    snapshot_window,
+)
+from .cluster import Cluster, ClusterConfig, makespan
+from .engine import EngineConfig, MicroBatchEngine, RunResult
+from .faults import FailureInjector, RecoveryEvent, recover_batch
+from .invariants import InvariantViolation, check_run_invariants
+from .lateness import LatenessConfig, LatenessMonitor
+from .receiver import Receiver
+from .scheduler import PipelineScheduler, ScheduledJob
+from .simulation import Event, EventLoop, SimulationError
+from .state import BatchState, StateStore
+from .stats import BatchRecord, RunStats, percentile
+from .tasks import (
+    BatchExecution,
+    MapTaskResult,
+    ReduceTaskResult,
+    TaskCostModel,
+    execute_batch_tasks,
+    execute_map_task,
+)
+from .topology import Topology
+from .windows import WindowedAggregator
+
+__all__ = [
+    "BackpressureConfig",
+    "BackpressureMonitor",
+    "BatchExecution",
+    "BatchRecord",
+    "BatchState",
+    "CheckpointManager",
+    "Cluster",
+    "ClusterConfig",
+    "EngineConfig",
+    "Event",
+    "EventLoop",
+    "FailureInjector",
+    "InvariantViolation",
+    "LatenessConfig",
+    "LatenessMonitor",
+    "MapTaskResult",
+    "MicroBatchEngine",
+    "PipelineScheduler",
+    "Receiver",
+    "RecoveryEvent",
+    "ReduceTaskResult",
+    "RunResult",
+    "RunStats",
+    "ScheduledJob",
+    "SimulationError",
+    "StateStore",
+    "TaskCostModel",
+    "Topology",
+    "WindowSnapshot",
+    "WindowedAggregator",
+    "check_run_invariants",
+    "execute_batch_tasks",
+    "execute_map_task",
+    "makespan",
+    "percentile",
+    "recover_batch",
+    "restore_window",
+    "run_is_stable",
+    "snapshot_window",
+]

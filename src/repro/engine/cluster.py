@@ -1,0 +1,93 @@
+"""Simulated cluster: nodes, executors, cores, and stage makespans.
+
+The paper runs 20 EC2 nodes with 16 cores each and bounds the number of
+data blocks by the executor core count "to avoid any Map task queuing"
+(Section 7).  We model the cluster as a pool of executors contributing
+cores; a stage of parallel tasks occupies cores under LPT (longest
+processing time first) list scheduling, whose makespan is the stage's
+duration — ``max task time`` exactly when tasks <= cores, per Eqn. 1.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["ClusterConfig", "Cluster", "makespan"]
+
+
+def makespan(durations: Sequence[float], cores: int) -> float:
+    """LPT list-scheduling makespan of independent tasks on ``cores`` cores.
+
+    With ``len(durations) <= cores`` this is ``max(durations)`` — the
+    regime the paper keeps the Map stage in.  Beyond that, tasks queue
+    (Cases II-IV of Figure 2) and the makespan grows accordingly.
+    """
+    if cores < 1:
+        raise ValueError(f"cores must be >= 1, got {cores}")
+    if not durations:
+        return 0.0
+    if any(d < 0 for d in durations):
+        raise ValueError("task durations must be non-negative")
+    if len(durations) <= cores:
+        return max(durations)
+    finish = [0.0] * cores
+    heapq.heapify(finish)
+    for d in sorted(durations, reverse=True):
+        earliest = heapq.heappop(finish)
+        heapq.heappush(finish, earliest + d)
+    return max(finish)
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterConfig:
+    """Static shape of the simulated cluster."""
+
+    num_nodes: int = 4
+    cores_per_node: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.cores_per_node < 1:
+            raise ValueError(f"cores_per_node must be >= 1, got {self.cores_per_node}")
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.cores_per_node
+
+
+class Cluster:
+    """Executor pool with elastic allocation.
+
+    ``allocated_cores`` is what the current execution plan may use; the
+    elasticity controller grows or shrinks it within the physical bound
+    (``config.total_cores``), mirroring Prompt's on-demand resources.
+    """
+
+    def __init__(self, config: ClusterConfig | None = None, *, allocated_cores: int | None = None) -> None:
+        self.config = config or ClusterConfig()
+        total = self.config.total_cores
+        self._allocated = total if allocated_cores is None else allocated_cores
+        if not 1 <= self._allocated <= total:
+            raise ValueError(
+                f"allocated_cores must be in [1, {total}], got {self._allocated}"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        return self.config.total_cores
+
+    @property
+    def allocated_cores(self) -> int:
+        return self._allocated
+
+    def allocate(self, cores: int) -> int:
+        """Set the allocation, clamped to physical bounds; returns actual."""
+        self._allocated = min(max(1, cores), self.total_cores)
+        return self._allocated
+
+    def stage_makespan(self, durations: Sequence[float]) -> float:
+        """Makespan of one stage on the currently allocated cores."""
+        return makespan(durations, self._allocated)

@@ -1,0 +1,312 @@
+"""The micro-batch stream processing engine façade.
+
+Wires together every substrate piece into the pipeline of Figure 1:
+
+    source -> Receiver -> [partitioner] -> Map stage -> shuffle ->
+    Reduce stage -> batch state -> windowed answer
+
+on the discrete-event timeline of Figure 2: batch *k* accumulates over
+``[k*I, (k+1)*I)``, its processing is submitted at the heartbeat and
+runs FIFO behind any still-executing predecessors, and the end-to-end
+latency of the batch is interval + queueing + processing.  Elasticity
+(Algorithm 4) observes completed batches and adjusts the numbers of Map
+and Reduce tasks used for subsequent batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..core.batch import BatchInfo
+from ..core.config import EarlyReleaseConfig, ElasticityConfig
+from ..core.early_release import EarlyReleaseController
+from ..core.elasticity import AutoScaler, ScalingDecision
+from ..core.tuples import Key
+from ..extensions.batch_sizing import BatchSizeController, BatchSizingConfig
+from ..partitioners.base import Partitioner
+from ..queries.base import Query
+from ..workloads.source import StreamSource
+from .backpressure import BackpressureConfig, BackpressureMonitor
+from .cluster import Cluster, ClusterConfig
+from .faults import FailureInjector, RecoveryEvent
+from .lateness import LatenessConfig, LatenessMonitor
+from .receiver import Receiver
+from .scheduler import PipelineScheduler, ScheduledJob
+from .simulation import EventLoop
+from .state import StateStore
+from .stats import BatchRecord, RunStats
+from .tasks import BatchExecution, TaskCostModel, execute_batch_tasks
+from .topology import Topology
+from .windows import WindowedAggregator
+
+__all__ = ["EngineConfig", "RunResult", "MicroBatchEngine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Static engine configuration for one run."""
+
+    batch_interval: float = 1.0
+    num_blocks: int = 8
+    num_reducers: int = 8
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    cost_model: TaskCostModel = field(default_factory=TaskCostModel)
+    early_release: EarlyReleaseConfig = field(default_factory=EarlyReleaseConfig)
+    elasticity: Optional[ElasticityConfig] = None
+    #: adaptive batch-interval resizing (Das et al.) — the orthogonal
+    #: stabilization technique the paper contrasts with; ``batch_interval``
+    #: then only seeds the controller.
+    batch_sizing: Optional["BatchSizingConfig"] = None
+    #: delay contract for late tuples (Section 2.1 / Section 8); None
+    #: means the source is trusted to deliver in timestamp order
+    lateness: Optional[LatenessConfig] = None
+    #: model shuffle locality: blocks/reducers placed round-robin over
+    #: nodes and remote fragment fetches pay the cost model's network term
+    use_topology: bool = False
+    backpressure: BackpressureConfig = field(default_factory=BackpressureConfig)
+    track_outputs: bool = True
+    replicate_inputs: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_interval <= 0:
+            raise ValueError("batch_interval must be positive")
+        if self.num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+        if self.num_reducers < 1:
+            raise ValueError("num_reducers must be >= 1")
+
+
+@dataclass
+class RunResult:
+    """Everything a finished run exposes to callers and benches."""
+
+    stats: RunStats
+    window_answers: list[dict[Key, Any]]
+    state_store: StateStore
+    scaling_history: list[ScalingDecision]
+    backpressure: BackpressureMonitor
+    recoveries: list[RecoveryEvent]
+    early_release: EarlyReleaseController
+    lateness: Optional[LatenessMonitor] = None
+
+    @property
+    def stable(self) -> bool:
+        return not self.backpressure.triggered
+
+    def final_window_answer(self) -> dict[Key, Any]:
+        return self.window_answers[-1] if self.window_answers else {}
+
+
+class MicroBatchEngine:
+    """Simulated distributed micro-batch stream processing system."""
+
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        query: Query,
+        config: EngineConfig | None = None,
+        *,
+        failure_injector: FailureInjector | None = None,
+    ) -> None:
+        self.partitioner = partitioner
+        self.query = query
+        self.config = config or EngineConfig()
+        self.failure_injector = failure_injector
+
+    # ------------------------------------------------------------------
+    def run(self, source: StreamSource, num_batches: int) -> RunResult:
+        """Process ``num_batches`` consecutive batch intervals of ``source``."""
+        if num_batches < 1:
+            raise ValueError(f"num_batches must be >= 1, got {num_batches}")
+        cfg = self.config
+        loop = EventLoop()
+        scheduler = PipelineScheduler(loop)
+        cluster = Cluster(cfg.cluster)
+        topology = Topology(cfg.cluster) if cfg.use_topology else None
+        early = EarlyReleaseController(cfg.early_release)
+        lateness = (
+            LatenessMonitor(cfg.lateness) if cfg.lateness is not None else None
+        )
+        receiver = Receiver(
+            source,
+            early_release=early,
+            use_cutoff=self.partitioner.uses_accumulator,
+            lateness=lateness,
+        )
+        receiver.reset()
+        self.partitioner.reset()
+
+        scaler: Optional[AutoScaler] = None
+        if cfg.elasticity is not None:
+            scaler = AutoScaler(
+                cfg.elasticity,
+                map_tasks=cfg.num_blocks,
+                reduce_tasks=cfg.num_reducers,
+            )
+        sizer: Optional[BatchSizeController] = None
+        if cfg.batch_sizing is not None:
+            sizer = BatchSizeController(cfg.batch_sizing)
+            sizer.seed(cfg.batch_interval)
+
+        batches_per_window = (
+            self.query.window.batches_per_window(cfg.batch_interval)
+            if self.query.window is not None
+            else 1
+        )
+        windows = WindowedAggregator(self.query.aggregator, batches_per_window)
+        store = StateStore(replicate_inputs=cfg.replicate_inputs)
+        monitor = BackpressureMonitor(cfg.backpressure)
+        stats = RunStats(batch_interval=cfg.batch_interval)
+        window_answers: list[dict[Key, Any]] = []
+        scaling_history: list[ScalingDecision] = []
+        recoveries: list[RecoveryEvent] = []
+
+        def heartbeat(k: int, t_start: float, interval: float) -> None:
+            info = BatchInfo(index=k, t_start=t_start, t_end=t_start + interval)
+            tuples, window = receiver.collect(info)
+            map_tasks = scaler.map_tasks if scaler else cfg.num_blocks
+            reduce_tasks = scaler.reduce_tasks if scaler else cfg.num_reducers
+            partitioned = self.partitioner.partition(tuples, map_tasks, info)
+            early.record(partitioned.partition_elapsed, window)
+            execution = execute_batch_tasks(
+                partitioned,
+                self.query,
+                self.partitioner,
+                reduce_tasks,
+                cfg.cost_model,
+                topology=topology,
+            )
+            processing = (
+                cluster.stage_makespan(execution.map_durations)
+                + cluster.stage_makespan(execution.reduce_durations)
+                + self.partitioner.heartbeat_overhead(partitioned)
+            )
+
+            def on_finish(job: ScheduledJob) -> None:
+                self._complete_batch(
+                    k,
+                    info,
+                    tuples,
+                    partitioned.partition_elapsed,
+                    execution,
+                    job,
+                    map_tasks,
+                    reduce_tasks,
+                    scaler=scaler,
+                    windows=windows,
+                    batches_per_window=batches_per_window,
+                    store=store,
+                    monitor=monitor,
+                    stats=stats,
+                    window_answers=window_answers,
+                    scaling_history=scaling_history,
+                    recoveries=recoveries,
+                    sizer=sizer,
+                )
+
+            scheduler.submit(k, processing, on_finish)
+            if k + 1 < num_batches:
+                next_interval = (
+                    sizer.next_interval() if sizer is not None else cfg.batch_interval
+                )
+                loop.schedule(
+                    info.t_end + next_interval,
+                    lambda: heartbeat(k + 1, info.t_end, next_interval),
+                    priority=0,
+                    label=f"heartbeat-{k + 1}",
+                )
+
+        loop.schedule(
+            cfg.batch_interval,
+            lambda: heartbeat(0, 0.0, cfg.batch_interval),
+            label="heartbeat-0",
+        )
+        loop.run()
+        return RunResult(
+            stats=stats,
+            window_answers=window_answers,
+            state_store=store,
+            scaling_history=scaling_history,
+            backpressure=monitor,
+            recoveries=recoveries,
+            early_release=early,
+            lateness=lateness,
+        )
+
+    # ------------------------------------------------------------------
+    def _complete_batch(
+        self,
+        k: int,
+        info: BatchInfo,
+        tuples: list,
+        partition_elapsed: float,
+        execution: BatchExecution,
+        job: ScheduledJob,
+        map_tasks: int,
+        reduce_tasks: int,
+        *,
+        scaler: Optional[AutoScaler],
+        windows: WindowedAggregator,
+        batches_per_window: int,
+        store: StateStore,
+        monitor: BackpressureMonitor,
+        stats: RunStats,
+        window_answers: list[dict[Key, Any]],
+        scaling_history: list[ScalingDecision],
+        recoveries: list[RecoveryEvent],
+        sizer: Optional[BatchSizeController] = None,
+    ) -> None:
+        """Batch ``k`` finished processing: state, windows, feedback."""
+        cfg = self.config
+        distinct = set()
+        for m in execution.map_results:
+            distinct.update(c.key for c in m.clusters)
+        key_count = len(distinct)
+
+        output = execution.batch_output() if cfg.track_outputs else {}
+        if cfg.track_outputs:
+            store.put(k, output, tuples if cfg.replicate_inputs else None)
+            if self.failure_injector and self.failure_injector.should_fail(k):
+                recoveries.append(
+                    self.failure_injector.fail_and_recover(store, k, self.query)
+                )
+                output = dict(store.get(k).output)
+            window_answers.append(windows.add_batch(output))
+            expired = k - batches_per_window
+            if expired >= 0:
+                store.evict_through(expired)
+
+        decision: Optional[ScalingDecision] = None
+        data_rate = len(tuples) / info.interval
+        if scaler is not None:
+            decision = scaler.observe(
+                job.duration,
+                info.interval,
+                data_rate=data_rate,
+                key_count=key_count,
+            )
+            scaling_history.append(decision)
+        if sizer is not None:
+            sizer.observe(info.interval, job.duration)
+
+        record = BatchRecord(
+            index=k,
+            t_start=info.t_start,
+            heartbeat=info.t_end,
+            ready_at=job.ready_at,
+            exec_start=job.start,
+            exec_finish=job.finish,
+            processing_time=job.duration,
+            tuple_count=len(tuples),
+            key_count=key_count,
+            map_tasks=map_tasks,
+            reduce_tasks=reduce_tasks,
+            map_durations=tuple(execution.map_durations),
+            reduce_durations=tuple(execution.reduce_durations),
+            bucket_weights=tuple(r.input_weight for r in execution.reduce_results),
+            partition_elapsed=partition_elapsed,
+            scaling=decision,
+        )
+        stats.add(record)
+        monitor.observe(k, record.load, record.queue_delay, record.batch_interval)

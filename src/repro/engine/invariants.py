@@ -1,0 +1,87 @@
+"""Cross-cutting run invariants: one call to audit a finished run.
+
+``check_run_invariants`` asserts every structural property a correct
+engine run must satisfy, independent of workload or technique:
+
+- batch records are contiguous in index and time;
+- per-record accounting is self-consistent
+  (``latency = interval + queue_delay + processing``);
+- the FIFO pipeline never overlaps executions or reorders batches;
+- window answers exist iff outputs were tracked;
+- every recovery matched the lost state (exactly-once);
+- lateness counters reconcile with the processed volume.
+
+Tests call it after every style of run; downstream users get a cheap
+smoke-check for custom configurations.
+"""
+
+from __future__ import annotations
+
+from .engine import RunResult
+
+__all__ = ["InvariantViolation", "check_run_invariants"]
+
+
+class InvariantViolation(AssertionError):
+    """A structural property of the run does not hold."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvariantViolation(message)
+
+
+def check_run_invariants(result: RunResult) -> None:
+    """Raise :class:`InvariantViolation` on any inconsistency."""
+    records = result.stats.records
+    _require(bool(records) or not result.window_answers,
+             "window answers without any batch records")
+
+    prev = None
+    for record in records:
+        _require(record.heartbeat > record.t_start,
+                 f"batch {record.index}: empty interval")
+        _require(record.ready_at >= record.heartbeat - 1e-9,
+                 f"batch {record.index}: ready before its heartbeat")
+        _require(record.exec_start >= record.ready_at - 1e-9,
+                 f"batch {record.index}: started before ready")
+        _require(record.exec_finish >= record.exec_start,
+                 f"batch {record.index}: finished before starting")
+        expected_latency = (
+            record.batch_interval + record.queue_delay + record.processing_time
+        )
+        _require(abs(record.latency - expected_latency) < 1e-6,
+                 f"batch {record.index}: latency accounting broken")
+        _require(record.tuple_count >= 0 and record.key_count >= 0,
+                 f"batch {record.index}: negative volumes")
+        _require(record.key_count <= max(record.tuple_count, 0) or record.tuple_count == 0,
+                 f"batch {record.index}: more keys than tuples")
+        _require(len(record.map_durations) == record.map_tasks,
+                 f"batch {record.index}: map task count mismatch")
+        _require(len(record.reduce_durations) == record.reduce_tasks,
+                 f"batch {record.index}: reduce task count mismatch")
+        _require(all(d >= 0 for d in record.map_durations + record.reduce_durations),
+                 f"batch {record.index}: negative task duration")
+        if prev is not None:
+            _require(record.index == prev.index + 1,
+                     f"batch indexes not contiguous at {record.index}")
+            _require(abs(record.t_start - prev.heartbeat) < 1e-9,
+                     f"batch {record.index}: timeline gap after {prev.index}")
+            _require(record.exec_start >= prev.exec_finish - 1e-9,
+                     f"batch {record.index}: overlapped execution (FIFO broken)")
+        prev = record
+
+    for event in result.recoveries:
+        _require(event.matched_original,
+                 f"batch {event.batch_index}: recovery diverged from lost state")
+
+    if result.lateness is not None:
+        monitor = result.lateness
+        processed = result.stats.total_tuples
+        admitted = monitor.on_time + monitor.late_accepted
+        if monitor.config.drop_overdue:
+            _require(processed == admitted,
+                     "processed volume disagrees with lateness admissions")
+        else:
+            _require(processed == monitor.total,
+                     "processed volume disagrees with lateness ledger")

@@ -1,0 +1,129 @@
+"""A minimal deterministic discrete-event simulation kernel.
+
+The micro-batch engine is simulated, not wall-clocked: heartbeats,
+batch-ready signals, and task completions are events on a virtual
+timeline.  Determinism rules: events fire in (time, priority, seq)
+order, where ``seq`` is the scheduling order — two events at the same
+instant fire in the order they were scheduled unless priorities differ.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventLoop", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (e.g. scheduling into the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering: time, then priority, then seq."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventLoop:
+    """Priority-queue event loop with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def fired(self) -> int:
+        """Number of events executed so far."""
+        return self._fired
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at virtual ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}; clock is at {self._now:.6f}"
+            )
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._seq),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self._now + delay, callback, priority=priority, label=label)
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._fired += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, *, until: float | None = None, max_events: int = 10_000_000) -> None:
+        """Drain the queue, optionally stopping the clock at ``until``.
+
+        Events scheduled at exactly ``until`` still fire; later ones
+        stay queued with the clock parked at ``until``.
+        """
+        fired = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self._now = max(self._now, until)
+                return
+            if fired >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            self.step()
+            fired += 1
+        if until is not None:
+            self._now = max(self._now, until)

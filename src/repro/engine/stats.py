@@ -1,0 +1,164 @@
+"""Per-batch execution records and run-level statistics.
+
+End-to-end latency is defined at batch granularity as
+``batch interval + processing time`` (Section 1) — plus any queueing
+delay when the pipeline falls behind (Cases II-IV of Figure 2).  These
+records feed every evaluation figure: throughput (11), task-count
+traces (12), reduce-latency distributions (13), and overhead (14).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.elasticity import ScalingDecision
+
+__all__ = ["BatchRecord", "RunStats", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for empty input."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True, slots=True)
+class BatchRecord:
+    """Everything measured about one batch's journey through the engine."""
+
+    index: int
+    t_start: float
+    heartbeat: float           # processing cut-off (end of batch interval)
+    ready_at: float            # when the partitioned batch was ready
+    exec_start: float          # when processing actually began
+    exec_finish: float
+    processing_time: float
+    tuple_count: int
+    key_count: int
+    map_tasks: int
+    reduce_tasks: int
+    map_durations: tuple[float, ...]
+    reduce_durations: tuple[float, ...]
+    bucket_weights: tuple[int, ...]
+    partition_elapsed: float
+    scaling: Optional[ScalingDecision] = None
+
+    @property
+    def batch_interval(self) -> float:
+        return self.heartbeat - self.t_start
+
+    @property
+    def queue_delay(self) -> float:
+        return self.exec_start - self.ready_at
+
+    @property
+    def latency(self) -> float:
+        """End-to-end: from the first instant of the interval to output."""
+        return self.exec_finish - self.t_start
+
+    @property
+    def load(self) -> float:
+        """``W = processing_time / batch_interval`` (Algorithm 4)."""
+        interval = self.batch_interval
+        return self.processing_time / interval if interval > 0 else float("inf")
+
+    @property
+    def max_reduce_time(self) -> float:
+        return max(self.reduce_durations, default=0.0)
+
+    @property
+    def mean_reduce_time(self) -> float:
+        if not self.reduce_durations:
+            return 0.0
+        return sum(self.reduce_durations) / len(self.reduce_durations)
+
+
+@dataclass
+class RunStats:
+    """Aggregated view over a run's batch records."""
+
+    batch_interval: float
+    records: list[BatchRecord] = field(default_factory=list)
+
+    def add(self, record: BatchRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- volumes ---------------------------------------------------------
+    @property
+    def total_tuples(self) -> int:
+        return sum(r.tuple_count for r in self.records)
+
+    def throughput(self) -> float:
+        """Processed tuples per second of simulated batching time."""
+        if not self.records:
+            return 0.0
+        span = self.records[-1].heartbeat - self.records[0].t_start
+        return self.total_tuples / span if span > 0 else 0.0
+
+    # -- latency / load ---------------------------------------------------
+    def latencies(self) -> list[float]:
+        return [r.latency for r in self.records]
+
+    def loads(self) -> list[float]:
+        return [r.load for r in self.records]
+
+    def mean_latency(self) -> float:
+        lat = self.latencies()
+        return sum(lat) / len(lat) if lat else 0.0
+
+    def p95_latency(self) -> float:
+        return percentile(self.latencies(), 95)
+
+    def max_queue_delay(self) -> float:
+        return max((r.queue_delay for r in self.records), default=0.0)
+
+    def mean_load(self, *, skip: int = 0) -> float:
+        loads = [r.load for r in self.records[skip:]]
+        return sum(loads) / len(loads) if loads else 0.0
+
+    # -- stability --------------------------------------------------------
+    def is_stable(self, *, skip: int = 0, max_queue_delay: float | None = None) -> bool:
+        """Whether the run kept up: processing fit inside the intervals.
+
+        Stability per Section 1: "The system is stable as long as
+        processing time <= batch interval", operationalized as mean load
+        <= 1 after warm-up and bounded queueing throughout.
+        """
+        if not self.records:
+            return True
+        limit = (
+            max_queue_delay
+            if max_queue_delay is not None
+            else self.batch_interval  # at most one batch stuck behind
+        )
+        if self.max_queue_delay() > limit:
+            return False
+        return self.mean_load(skip=skip) <= 1.0
+
+    # -- figure extracts ----------------------------------------------
+    def reduce_time_series(self) -> list[tuple[int, float, float]]:
+        """(batch, mean, max) reduce-task times — Figure 13's scatter."""
+        return [
+            (r.index, r.mean_reduce_time, r.max_reduce_time) for r in self.records
+        ]
+
+    def task_count_series(self) -> list[tuple[int, int, int]]:
+        """(batch, map_tasks, reduce_tasks) — Figure 12's traces."""
+        return [(r.index, r.map_tasks, r.reduce_tasks) for r in self.records]
+
+    def partition_overhead_fractions(self) -> list[float]:
+        """Partitioning cost as a fraction of the interval — Figure 14b."""
+        interval = self.batch_interval
+        if interval <= 0:
+            return []
+        return [r.partition_elapsed / interval for r in self.records]

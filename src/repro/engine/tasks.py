@@ -1,0 +1,256 @@
+"""Map/Reduce task execution and the task cost model.
+
+Eqn. 1 models the processing time of a batch as the sum of the longest
+Map task and the longest Reduce task; the paper's whole argument is that
+both task times grow monotonically with their input *size* (Problems I
+and II) and that per-key aggregation across blocks adds Reduce overhead
+(key locality, Sections 2.2.2/3.2).  The cost model encodes exactly that
+dependence:
+
+- ``MapTime  = map_fixed + map_per_tuple * |block| + map_per_key * ||block||``
+- ``ReduceTime = reduce_fixed + reduce_per_tuple * |bucket|
+                + reduce_per_fragment * fragments(bucket)``
+
+where ``fragments(bucket)`` counts the (Map task, key) pairs whose
+output lands in the bucket: the per-key partial results that must be
+fetched and merged.  Shuffle-style partitioning scatters every hot key
+over all blocks, inflating that term; hashing keeps it minimal but lets
+``|block|`` and ``|bucket|`` skew — the trade-off Figure 10/11 measures.
+
+Constants are calibrated so a simulated 4x4-core cluster sustains rates
+in the tens of thousands of tuples per second with second-scale batch
+intervals — laptop-scale stand-ins for the paper's EC2 numbers; the
+*relative* behaviour between techniques is what carries over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Collection, Sequence
+
+from ..core.batch import DataBlock, PartitionedBatch
+from ..core.reduce_allocator import BucketAssignment, KeyCluster
+from ..core.tuples import Key
+from ..partitioners.base import Partitioner
+from ..queries.base import Query
+from .topology import Topology
+
+__all__ = [
+    "TaskCostModel",
+    "MapTaskResult",
+    "ReduceTaskResult",
+    "BatchExecution",
+    "execute_map_task",
+    "execute_batch_tasks",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskCostModel:
+    """Per-task simulated-time coefficients (seconds)."""
+
+    map_fixed: float = 2e-3
+    map_per_tuple: float = 8e-5
+    map_per_key: float = 1e-4
+    reduce_fixed: float = 2e-3
+    reduce_per_tuple: float = 6e-5
+    reduce_per_fragment: float = 5e-4
+    #: extra cost per fragment fetched from a *remote* node; only
+    #: charged when a Topology is supplied to execute_batch_tasks
+    network_per_remote_fragment: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def map_time(self, tuple_weight: int, key_count: int) -> float:
+        return self.map_fixed + self.map_per_tuple * tuple_weight + self.map_per_key * key_count
+
+    def reduce_time(
+        self, bucket_weight: int, fragment_count: int, remote_fragments: int = 0
+    ) -> float:
+        return (
+            self.reduce_fixed
+            + self.reduce_per_tuple * bucket_weight
+            + self.reduce_per_fragment * fragment_count
+            + self.network_per_remote_fragment * remote_fragments
+        )
+
+
+@dataclass(slots=True)
+class MapTaskResult:
+    """Outcome of one Map task over one data block."""
+
+    block_index: int
+    input_weight: int
+    input_cardinality: int
+    clusters: list[KeyCluster]
+    assignment: BucketAssignment
+    duration: float
+    # per-key aggregated partial value from this block (map-side results)
+    partials: dict[Key, object]
+
+
+@dataclass(slots=True)
+class ReduceTaskResult:
+    """Outcome of one Reduce task over one bucket."""
+
+    bucket_index: int
+    input_weight: int
+    fragment_count: int
+    key_count: int
+    duration: float
+    # final per-key aggregate for keys owned by this bucket
+    results: dict[Key, object]
+    # fragments fetched across the network (0 without a topology)
+    remote_fragments: int = 0
+
+
+@dataclass(slots=True)
+class BatchExecution:
+    """Everything produced by running one batch's Map-Reduce computation."""
+
+    map_results: list[MapTaskResult]
+    reduce_results: list[ReduceTaskResult]
+
+    @property
+    def map_durations(self) -> list[float]:
+        return [m.duration for m in self.map_results]
+
+    @property
+    def reduce_durations(self) -> list[float]:
+        return [r.duration for r in self.reduce_results]
+
+    def batch_output(self) -> dict[Key, object]:
+        """The batch's per-key aggregate (union of all Reduce outputs)."""
+        out: dict[Key, object] = {}
+        for r in self.reduce_results:
+            overlap = out.keys() & r.results.keys()
+            if overlap:
+                raise AssertionError(
+                    f"key locality violated: keys {sorted(map(repr, overlap))[:5]} "
+                    f"reduced by multiple tasks"
+                )
+            out.update(r.results)
+        return out
+
+
+def execute_map_task(
+    block: DataBlock,
+    query: Query,
+    cost_model: TaskCostModel,
+) -> tuple[list[KeyCluster], dict[Key, object], float]:
+    """Apply the query's Map function over one block.
+
+    Returns the intermediate key clusters, the map-side per-key partial
+    aggregates, and the task duration.  The Map stage is charged for
+    every *input* tuple — filtered-out tuples still cost their scan.
+
+    Cluster sizes model the shuffle payload: for map-side-combining
+    (algebraic) queries a fragment collapses to one partial record, so
+    the cluster size is 1; holistic queries ship the full values list,
+    so the size is the emitted tuple count.
+    """
+    clusters: list[KeyCluster] = []
+    partials: dict[Key, object] = {}
+    for key, chain in sorted(
+        ((k, block.fragment(k)) for k in block.keys),
+        key=lambda kv: repr(kv[0]),
+    ):
+        emitted = 0
+        acc = query.aggregator.zero()
+        for t in chain:
+            mapped = query.map_value(key, t.value)
+            if mapped is None:
+                continue
+            emitted += 1
+            acc = query.aggregator.add(acc, mapped)
+        if emitted:
+            size = 1 if query.map_side_combine else emitted
+            clusters.append(KeyCluster(key=key, size=size))
+            partials[key] = acc
+    duration = cost_model.map_time(block.size, block.cardinality)
+    return clusters, partials, duration
+
+
+def execute_batch_tasks(
+    batch: PartitionedBatch,
+    query: Query,
+    partitioner: Partitioner,
+    num_reducers: int,
+    cost_model: TaskCostModel,
+    topology: Topology | None = None,
+) -> BatchExecution:
+    """Run the full Map -> shuffle -> Reduce computation of one batch.
+
+    Each Map task routes its clusters to Reduce buckets through the
+    technique's own allocator (hashing for all baselines, Algorithm 3
+    for Prompt).  Reduce tasks then merge, per key, the partial results
+    of every contributing Map task.  With a ``topology``, fragments
+    fetched from Map tasks on other nodes additionally pay the cost
+    model's network term.
+    """
+    if num_reducers < 1:
+        raise ValueError(f"num_reducers must be >= 1, got {num_reducers}")
+    split = set(batch.split_keys)
+    map_results: list[MapTaskResult] = []
+    for block in batch.blocks:
+        clusters, partials, duration = execute_map_task(block, query, cost_model)
+        block_split = {c.key for c in clusters if c.key in split}
+        assignment = partitioner.allocate_reduce(clusters, block_split, num_reducers)
+        map_results.append(
+            MapTaskResult(
+                block_index=block.index,
+                input_weight=block.size,
+                input_cardinality=block.cardinality,
+                clusters=clusters,
+                assignment=assignment,
+                duration=duration,
+                partials=partials,
+            )
+        )
+
+    # Shuffle: gather fragments per bucket.
+    bucket_weight = [0] * num_reducers
+    bucket_fragments = [0] * num_reducers
+    bucket_remote = [0] * num_reducers
+    bucket_partials: list[dict[Key, list[object]]] = [dict() for _ in range(num_reducers)]
+    owner: dict[Key, int] = {}
+    for m in map_results:
+        cluster_size = {c.key: c.size for c in m.clusters}
+        for key, bucket in m.assignment.assignment.items():
+            prior = owner.setdefault(key, bucket)
+            if prior != bucket:
+                raise AssertionError(
+                    f"key locality violated: {key!r} sent to buckets {prior} and {bucket}"
+                )
+            bucket_weight[bucket] += cluster_size[key]
+            bucket_fragments[bucket] += 1
+            if topology is not None and not topology.is_local(m.block_index, bucket):
+                bucket_remote[bucket] += 1
+            bucket_partials[bucket].setdefault(key, []).append(m.partials[key])
+
+    reduce_results: list[ReduceTaskResult] = []
+    for j in range(num_reducers):
+        results: dict[Key, object] = {}
+        for key, parts in bucket_partials[j].items():
+            acc = parts[0]
+            for part in parts[1:]:
+                acc = query.aggregator.merge(acc, part)
+            results[key] = acc
+        duration = cost_model.reduce_time(
+            bucket_weight[j], bucket_fragments[j], bucket_remote[j]
+        )
+        reduce_results.append(
+            ReduceTaskResult(
+                bucket_index=j,
+                input_weight=bucket_weight[j],
+                fragment_count=bucket_fragments[j],
+                key_count=len(bucket_partials[j]),
+                duration=duration,
+                results=results,
+                remote_fragments=bucket_remote[j],
+            )
+        )
+    return BatchExecution(map_results=map_results, reduce_results=reduce_results)

@@ -1,0 +1,5 @@
+"""Extensions beyond the paper's core: techniques it cites and contrasts."""
+
+from .batch_sizing import BatchSizeController, BatchSizingConfig
+
+__all__ = ["BatchSizeController", "BatchSizingConfig"]

@@ -1,0 +1,141 @@
+"""Adaptive batch sizing (Das et al., SoCC'14) — the contrasted approach.
+
+The paper's introduction singles out batch-interval resizing as the
+prior way to keep micro-batch systems stable: "The batch interval is
+resized to maintain an equal relationship between the processing and
+batching times.  However, batch resizing ... may lead to delays in
+result delivery" (Section 1).  Section 9 calls it *orthogonal* to
+Prompt.  To make that comparison runnable, this module implements the
+control algorithm: a fixed-point controller that learns the (locally
+linear) relationship ``processing_time ≈ slope * interval + intercept``
+from recent batches and picks the next interval so that the predicted
+processing time is ``target_ratio`` of it.
+
+The extension bench (``benchmarks/test_ext_batch_sizing.py``) runs the
+same overload scenario through (a) a fixed interval, (b) this
+controller, and (c) Prompt's elasticity — reproducing the trade-off the
+paper argues: resizing restores stability *by growing latency*, while
+elasticity holds latency and spends resources.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque
+
+__all__ = ["BatchSizingConfig", "BatchSizeController"]
+
+
+@dataclass(frozen=True, slots=True)
+class BatchSizingConfig:
+    """Control parameters for the batch-interval controller."""
+
+    #: desired processing_time / interval ratio (Das et al. use ~0.9
+    #: minus a safety margin)
+    target_ratio: float = 0.8
+    min_interval: float = 0.25
+    max_interval: float = 10.0
+    #: recent samples used for the linear fit
+    window: int = 8
+    #: per-step bound on relative interval change (slew-rate limiting)
+    max_step: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_ratio < 1.0:
+            raise ValueError(f"target_ratio must be in (0, 1), got {self.target_ratio}")
+        if not 0 < self.min_interval <= self.max_interval:
+            raise ValueError("need 0 < min_interval <= max_interval")
+        if self.window < 2:
+            raise ValueError("window must be >= 2")
+        if not 0.0 < self.max_step <= 1.0:
+            raise ValueError("max_step must be in (0, 1]")
+
+
+class BatchSizeController:
+    """Fixed-point batch-interval controller.
+
+    Feed each completed batch's ``(interval, processing_time)``; ask
+    :meth:`next_interval` for the interval the next batch should use.
+
+    With fewer than two distinct samples the controller falls back to a
+    multiplicative step toward the target ratio; once the window holds
+    a usable spread it solves the linear model
+    ``slope * T + intercept = target_ratio * T`` for ``T``.
+    """
+
+    def __init__(self, config: BatchSizingConfig | None = None) -> None:
+        self.config = config or BatchSizingConfig()
+        self._samples: Deque[tuple[float, float]] = deque(maxlen=self.config.window)
+        self._current = self.config.min_interval
+
+    @property
+    def current_interval(self) -> float:
+        return self._current
+
+    def seed(self, interval: float) -> None:
+        """Set the starting interval (before any observation)."""
+        self._current = self._clamp(interval)
+
+    def observe(self, interval: float, processing_time: float) -> None:
+        """Record one completed batch."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if processing_time < 0:
+            raise ValueError("processing_time must be >= 0")
+        self._samples.append((interval, processing_time))
+        self._current = self._clamp(interval)
+
+    def next_interval(self) -> float:
+        """The interval the next batch should use."""
+        if not self._samples:
+            return self._current
+        fitted = self._solve_fixed_point()
+        if fitted is None:
+            fitted = self._multiplicative_step()
+        # Slew-rate limit: never move more than max_step relative.
+        lo = self._current * (1 - self.config.max_step)
+        hi = self._current * (1 + self.config.max_step)
+        self._current = self._clamp(min(max(fitted, lo), hi))
+        return self._current
+
+    # ------------------------------------------------------------------
+    def _clamp(self, interval: float) -> float:
+        return min(max(interval, self.config.min_interval), self.config.max_interval)
+
+    def _multiplicative_step(self) -> float:
+        """One-sample fallback: scale toward the target ratio."""
+        interval, processing = self._samples[-1]
+        ratio = processing / interval if interval > 0 else 1.0
+        if ratio <= 0:
+            return self.config.min_interval
+        return interval * ratio / self.config.target_ratio
+
+    def _solve_fixed_point(self) -> float | None:
+        """Least-squares fit P = a*T + b, then solve a*T + b = rho*T.
+
+        Returns None when the samples cannot identify the line (all at
+        one interval) or the solution is unstable (slope >= rho, i.e.
+        processing grows at least as fast as the interval — no interval
+        can satisfy the target; the caller's multiplicative step then
+        pushes toward max_interval).
+        """
+        if len(self._samples) < 2:
+            return None
+        xs = [t for t, _ in self._samples]
+        ys = [p for _, p in self._samples]
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        var_x = sum((x - mean_x) ** 2 for x in xs)
+        if var_x < 1e-12:
+            return None
+        slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / var_x
+        intercept = mean_y - slope * mean_x
+        rho = self.config.target_ratio
+        if slope >= rho:
+            return None
+        solution = intercept / (rho - slope)
+        if solution <= 0:
+            return self.config.min_interval
+        return solution

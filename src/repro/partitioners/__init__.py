@@ -1,0 +1,28 @@
+"""Batching-phase partitioning techniques: Prompt plus all baselines."""
+
+from .base import Partitioner, StreamingPartitioner
+from .cam import CAMPartitioner
+from .hashing import HashPartitioner
+from .heavy_split import HeavyHitterSplitPartitioner
+from .key_split import KeySplitPartitioner, PK2Partitioner, PK5Partitioner
+from .prompt import PromptPartitioner
+from .registry import PARTITIONER_NAMES, all_paper_techniques, make_partitioner
+from .shuffle import ShufflePartitioner
+from .time_based import TimeBasedPartitioner
+
+__all__ = [
+    "CAMPartitioner",
+    "HashPartitioner",
+    "HeavyHitterSplitPartitioner",
+    "KeySplitPartitioner",
+    "PARTITIONER_NAMES",
+    "PK2Partitioner",
+    "PK5Partitioner",
+    "Partitioner",
+    "PromptPartitioner",
+    "ShufflePartitioner",
+    "StreamingPartitioner",
+    "TimeBasedPartitioner",
+    "all_paper_techniques",
+    "make_partitioner",
+]

@@ -1,0 +1,207 @@
+"""Reference bin-packing solvers for the B-BPFI problem (Section 4.2).
+
+These are *not* part of the Prompt pipeline; they exist so the trade-off
+illustrated by Figure 6 can be regenerated and so tests can check the
+Algorithm 2 heuristic against principled references:
+
+- :func:`first_fit_decreasing` — the classical FFD adapted to
+  fragmentable items (fills bins nearly completely; Figure 6a shows it
+  over-fragments and ignores cardinality).
+- :func:`fragmentation_minimization` — the LeCun et al. style
+  FragMin strategy (fills bins one at a time; Figure 6b shows minimal
+  fragmentation but terrible cardinality balance).
+- :func:`fragment_lower_bound` — an instance lower bound on the number
+  of (item, bin) fragments any feasible balanced assignment must have.
+- :func:`exact_min_fragments` — exhaustive branch-and-bound for tiny
+  instances (used by tests to certify heuristic quality).
+
+Items are ``(key, size)`` pairs; bins have one common capacity; every
+result is a list of per-bin ``{key: placed_size}`` dicts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+__all__ = [
+    "Assignment",
+    "first_fit_decreasing",
+    "fragmentation_minimization",
+    "fragment_lower_bound",
+    "exact_min_fragments",
+    "assignment_fragments",
+    "assignment_sizes",
+    "assignment_cardinalities",
+]
+
+Item = tuple[Hashable, int]
+Assignment = list[dict[Hashable, int]]
+
+
+def _check_instance(items: Sequence[Item], num_bins: int, capacity: int) -> None:
+    if num_bins < 1:
+        raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    total = sum(size for _, size in items)
+    if total > num_bins * capacity:
+        raise ValueError(
+            f"infeasible: total item size {total} exceeds capacity "
+            f"{num_bins}x{capacity}"
+        )
+    for key, size in items:
+        if size < 1:
+            raise ValueError(f"item {key!r} has non-positive size {size}")
+
+
+def assignment_fragments(assignment: Assignment) -> int:
+    """Total number of (item, bin) fragments (the B-BPFI objective, Eqn. 7)."""
+    return sum(len(b) for b in assignment)
+
+
+def assignment_sizes(assignment: Assignment) -> list[int]:
+    return [sum(b.values()) for b in assignment]
+
+
+def assignment_cardinalities(assignment: Assignment) -> list[int]:
+    return [len(b) for b in assignment]
+
+
+def first_fit_decreasing(
+    items: Sequence[Item], num_bins: int, capacity: int
+) -> Assignment:
+    """FFD with item fragmentation (Figure 6a behaviour).
+
+    Items sorted by decreasing size; each goes to the first bin with any
+    room, spilling the overflow onward — the classical strategy whose
+    "fill bins nearly completely" objective is wrong for B-BPFI.
+    """
+    _check_instance(items, num_bins, capacity)
+    bins: Assignment = [dict() for _ in range(num_bins)]
+    loads = [0] * num_bins
+    ordered = sorted(items, key=lambda kv: (-kv[1], repr(kv[0])))
+    for key, size in ordered:
+        remaining = size
+        for j in range(num_bins):
+            if remaining == 0:
+                break
+            room = capacity - loads[j]
+            if room <= 0:
+                continue
+            placed = min(room, remaining)
+            bins[j][key] = bins[j].get(key, 0) + placed
+            loads[j] += placed
+            remaining -= placed
+        if remaining:
+            raise AssertionError("FFD failed to place a feasible instance")
+    return bins
+
+
+def fragmentation_minimization(
+    items: Sequence[Item], num_bins: int, capacity: int
+) -> Assignment:
+    """FragMin (Figure 6b): fill bins one at a time, splitting only at seams.
+
+    At most one item is fragmented per bin boundary, which is optimal
+    for fragmentation among size-balanced assignments, but consecutive
+    large items pile into the same bin so cardinality balance suffers.
+    """
+    _check_instance(items, num_bins, capacity)
+    bins: Assignment = [dict() for _ in range(num_bins)]
+    ordered = sorted(items, key=lambda kv: (-kv[1], repr(kv[0])))
+    j = 0
+    load = 0
+    for key, size in ordered:
+        remaining = size
+        while remaining > 0:
+            if j >= num_bins:
+                raise AssertionError("FragMin overran bins on a feasible instance")
+            room = capacity - load
+            placed = min(room, remaining)
+            if placed > 0:
+                bins[j][key] = bins[j].get(key, 0) + placed
+                load += placed
+                remaining -= placed
+            if load >= capacity:
+                j += 1
+                load = 0
+    return bins
+
+
+def fragment_lower_bound(
+    items: Sequence[Item], num_bins: int, capacity: int
+) -> int:
+    """Lower bound on total fragments for any feasible assignment.
+
+    Every item contributes at least one fragment, and an item of size
+    ``s > capacity`` must occupy at least ``ceil(s / capacity)`` bins.
+    Additionally at least ``num_bins`` fragments exist whenever the
+    total size forces every bin to be non-empty for balance.
+    """
+    _check_instance(items, num_bins, capacity)
+    base = sum(max(1, math.ceil(size / capacity)) for _, size in items)
+    return max(base, min(num_bins, len(items)))
+
+
+def exact_min_fragments(
+    items: Sequence[Item],
+    num_bins: int,
+    capacity: int,
+    *,
+    node_limit: int = 200_000,
+) -> int:
+    """Exact minimum fragment count via branch-and-bound (tiny instances).
+
+    Explores, largest item first, every way to carve an item across bins
+    (whole placements before splits), pruning on the running best and on
+    the per-item ``ceil(s/C)`` bound.  Raises ``RuntimeError`` if the
+    search exceeds ``node_limit`` nodes — callers should keep instances
+    to roughly K <= 10, B <= 4.
+    """
+    _check_instance(items, num_bins, capacity)
+    sizes = sorted((size for _, size in items), reverse=True)
+    best = assignment_fragments(first_fit_decreasing(items, num_bins, capacity))
+    remaining_lb = [0] * (len(sizes) + 1)
+    for i in range(len(sizes) - 1, -1, -1):
+        remaining_lb[i] = remaining_lb[i + 1] + max(1, math.ceil(sizes[i] / capacity))
+    nodes = 0
+
+    def dfs(i: int, loads: tuple[int, ...], fragments: int) -> None:
+        nonlocal best, nodes
+        nodes += 1
+        if nodes > node_limit:
+            raise RuntimeError("exact_min_fragments node limit exceeded")
+        if fragments + remaining_lb[i] >= best:
+            return
+        if i == len(sizes):
+            best = min(best, fragments)
+            return
+        size = sizes[i]
+        rooms = [capacity - load for load in loads]
+        # Whole placements first (fewest fragments), deduplicating
+        # symmetric bins by their current load.
+        tried: set[int] = set()
+        for j, room in enumerate(rooms):
+            if room >= size and loads[j] not in tried:
+                tried.add(loads[j])
+                next_loads = loads[:j] + (loads[j] + size,) + loads[j + 1 :]
+                dfs(i + 1, tuple(sorted(next_loads)), fragments + 1)
+        # Then split across the k roomiest bins for k = 2, 3, ...
+        order = sorted(range(num_bins), key=lambda j: -rooms[j])
+        acc = 0
+        for k, j in enumerate(order, start=1):
+            acc += rooms[j]
+            if k >= 2 and acc >= size and rooms[j] > 0:
+                # Fill the k-1 roomiest completely, put the rest in bin k.
+                next_loads = list(loads)
+                remaining = size
+                for jj in order[: k - 1]:
+                    take = min(rooms[jj], remaining)
+                    next_loads[jj] += take
+                    remaining -= take
+                next_loads[order[k - 1]] += remaining
+                dfs(i + 1, tuple(sorted(next_loads)), fragments + k)
+                break
+    dfs(0, tuple([0] * num_bins), 0)
+    return best

@@ -1,0 +1,36 @@
+"""Hash partitioning / Key Grouping (Section 2.2.3).
+
+One hash function maps each key to a fixed block, giving perfect key
+locality (KSR = 1, no per-key aggregation across blocks) but no control
+over block sizes: under skew, the blocks owning hot keys dwarf the rest,
+and the same effect repeats at the Reduce stage.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.batch import BatchInfo, DataBlock
+from ..core.hashing import hash_to_bucket
+from ..core.tuples import StreamTuple
+from .base import StreamingPartitioner
+
+__all__ = ["HashPartitioner"]
+
+
+class HashPartitioner(StreamingPartitioner):
+    """Fixed key-to-block assignment via one stable hash function."""
+
+    name = "hash"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def assign(
+        self,
+        t: StreamTuple,
+        seq: int,
+        blocks: Sequence[DataBlock],
+        info: BatchInfo,
+    ) -> int:
+        return hash_to_bucket(t.key, len(blocks), seed=self.seed)

@@ -1,0 +1,77 @@
+"""Key-split partitioning — PK2 / PK5 baselines (Section 2.2.4).
+
+The "power of both choices" family (Nasir et al., ICDE'15/'16): ``d``
+independent hash functions give each key ``d`` candidate blocks, and
+each arriving tuple goes to the *least loaded* of its key's candidates.
+PK2 fixes ``d=2`` ("The Power of Both Choices"), PK5 ``d=5`` ("When Two
+Choices Are Not Enough").
+
+Load balance improves exponentially with ``d`` for size, but each key
+still fragments over up to ``d`` blocks (hurting KSR and the Reduce
+per-key aggregation), and per-block *cardinality* is uncontrolled.
+Because these techniques come from continuous tuple-at-a-time DSPSs,
+they are obliged to decide per tuple with only running statistics —
+precisely the restriction Prompt's whole-batch view removes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.batch import BatchInfo, DataBlock
+from ..core.hashing import candidate_buckets
+from ..core.tuples import Key, StreamTuple
+from .base import StreamingPartitioner
+
+__all__ = ["KeySplitPartitioner", "PK2Partitioner", "PK5Partitioner"]
+
+
+class KeySplitPartitioner(StreamingPartitioner):
+    """Power-of-*d*-choices key splitting."""
+
+    name = "pkd"
+
+    def __init__(self, d: int = 2) -> None:
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self.d = d
+        self._candidate_cache: dict[tuple[Key, int], list[int]] = {}
+
+    def reset(self) -> None:
+        self._candidate_cache.clear()
+
+    def _candidates(self, key: Key, num_blocks: int) -> list[int]:
+        cached = self._candidate_cache.get((key, num_blocks))
+        if cached is None:
+            cached = candidate_buckets(key, num_blocks, self.d)
+            self._candidate_cache[(key, num_blocks)] = cached
+        return cached
+
+    def assign(
+        self,
+        t: StreamTuple,
+        seq: int,
+        blocks: Sequence[DataBlock],
+        info: BatchInfo,
+    ) -> int:
+        candidates = self._candidates(t.key, len(blocks))
+        # Least-loaded candidate at decision time (Section 2.2.4 (1)).
+        return min(candidates, key=lambda i: (blocks[i].size, i))
+
+
+class PK2Partitioner(KeySplitPartitioner):
+    """Partial key grouping with two choices (Nasir et al., ICDE'15)."""
+
+    name = "pk2"
+
+    def __init__(self) -> None:
+        super().__init__(d=2)
+
+
+class PK5Partitioner(KeySplitPartitioner):
+    """Key splitting with five choices (Nasir et al., ICDE'16)."""
+
+    name = "pk5"
+
+    def __init__(self) -> None:
+        super().__init__(d=5)

@@ -1,0 +1,162 @@
+"""The Prompt scheme packaged behind the common Partitioner interface.
+
+Combines the three run-time pieces of the paper:
+
+- frequency-aware buffering (Algorithm 1) over the batch interval,
+- the B-BPFI batch partitioning heuristic (Algorithm 2) at the (early)
+  batching cut-off, and
+- the B-BPVC reduce allocation heuristic (Algorithm 3) inside each Map
+  task during the processing phase.
+
+``partition`` stamps the measured wall-clock partitioning cost onto the
+result so the early-release audit (Figure 14b) can compare it against
+the 5% slack budget.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Collection, Sequence
+
+from ..core.batch import BatchInfo, PartitionedBatch
+from ..core.batch_partitioner import PromptBatchPartitioner
+from ..core.buffering import AccumulatedBatch, MicroBatchAccumulator
+from ..core.config import PromptConfig
+from ..core.reduce_allocator import BucketAssignment, KeyCluster, ReduceBucketAllocator
+from ..core.sketch_accumulator import SketchMicroBatchAccumulator
+from ..core.tuples import Key, StreamTuple, sorted_key_groups
+from .base import Partitioner
+
+__all__ = ["PromptPartitioner"]
+
+
+class PromptPartitioner(Partitioner):
+    """Prompt's full data-partitioning scheme (Sections 4-5).
+
+    ``post_sort=True`` switches to the ablation of Figure 14a: skip the
+    frequency-aware accumulator and sort all keys exactly at the
+    heartbeat instead (same partition quality, but the sort happens
+    inside the critical path rather than during batching).
+    """
+
+    name = "prompt"
+    uses_accumulator = True
+
+    #: simulated cost of the heartbeat sort in the post-sort ablation:
+    #: seconds per key * log2(keys) (comparison-sort work over the key
+    #: list that frequency-aware buffering amortizes into batching).
+    SORT_COST_PER_KEY_LOG = 2e-6
+
+    def __init__(
+        self,
+        config: PromptConfig | None = None,
+        *,
+        exact_updates: bool = False,
+        post_sort: bool = False,
+        strategy: str = "greedy",
+        stats: str = "tree",
+        sketch_capacity: int = 256,
+    ) -> None:
+        self.config = config or PromptConfig()
+        self.post_sort = post_sort
+        if stats == "tree":
+            self.accumulator: MicroBatchAccumulator | SketchMicroBatchAccumulator = (
+                MicroBatchAccumulator(
+                    self.config.accumulator, exact_updates=exact_updates
+                )
+            )
+        elif stats == "sketch":
+            if exact_updates:
+                raise ValueError("exact_updates only applies to stats='tree'")
+            self.accumulator = SketchMicroBatchAccumulator(sketch_capacity)
+        else:
+            raise ValueError(f"stats must be 'tree' or 'sketch', got {stats!r}")
+        self.stats = stats
+        self.exact_updates = exact_updates
+        self.sketch_capacity = sketch_capacity
+        self.batch_partitioner = PromptBatchPartitioner(
+            self.config.partitioner, strategy=strategy
+        )
+        self.last_batch: AccumulatedBatch | None = None
+
+    def reset(self) -> None:
+        """Forget cross-batch state, including the accumulator's adaptive
+        N_est/K_avg history, so a fresh run replays identically."""
+        if self.stats == "tree":
+            self.accumulator = MicroBatchAccumulator(
+                self.config.accumulator, exact_updates=self.exact_updates
+            )
+        else:
+            self.accumulator = SketchMicroBatchAccumulator(self.sketch_capacity)
+        self.last_batch = None
+
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        tuples: Sequence[StreamTuple],
+        num_blocks: int,
+        info: BatchInfo,
+    ) -> PartitionedBatch:
+        """Buffer ``tuples`` through Algorithm 1, then run Algorithm 2.
+
+        The buffering cost is charged to the batching phase (it runs as
+        tuples arrive); only the Algorithm 2 pass — plus the exact sort,
+        in the ``post_sort`` ablation — counts as partitioning latency.
+        """
+        if self.post_sort:
+            started = time.perf_counter()
+            groups = sorted_key_groups(tuples, descending=True)
+            batch = self.batch_partitioner.partition(groups, num_blocks, info)
+            batch.partition_elapsed = time.perf_counter() - started
+            batch.partitioner_name = "prompt-postsort"
+            self.last_batch = None
+            return batch
+
+        self.accumulator.start_interval(info)
+        self.accumulator.accept_all(tuples)
+        accumulated = self.accumulator.finalize()
+        self.last_batch = accumulated
+        started = time.perf_counter()
+        batch = self.batch_partitioner.partition(
+            accumulated.key_groups, num_blocks, info
+        )
+        batch.partition_elapsed = time.perf_counter() - started
+        return batch
+
+    def partition_accumulated(
+        self, accumulated: AccumulatedBatch, num_blocks: int
+    ) -> PartitionedBatch:
+        """Algorithm 2 over an already-buffered batch (engine fast path)."""
+        self.last_batch = accumulated
+        started = time.perf_counter()
+        batch = self.batch_partitioner.partition(
+            accumulated.key_groups, num_blocks, accumulated.info
+        )
+        batch.partition_elapsed = time.perf_counter() - started
+        return batch
+
+    def heartbeat_overhead(self, batch: PartitionedBatch) -> float:
+        """Post-sort pays an explicit K log K sort inside the heartbeat.
+
+        With Early Batch Release (the default), the partitioning work is
+        hidden in the batching slack and costs the processing phase
+        nothing — the contrast Figure 14a measures.
+        """
+        if not self.post_sort:
+            return 0.0
+        keys = len(batch.distinct_keys())
+        if keys == 0:
+            return 0.0
+        return self.SORT_COST_PER_KEY_LOG * keys * max(1.0, math.log2(keys))
+
+    # ------------------------------------------------------------------
+    def allocate_reduce(
+        self,
+        clusters: Sequence[KeyCluster],
+        split_keys: Collection[Key],
+        num_buckets: int,
+    ) -> BucketAssignment:
+        """Algorithm 3: local load-aware allocation instead of hashing."""
+        allocator = ReduceBucketAllocator(num_buckets)
+        return allocator.allocate(list(clusters), split_keys)

@@ -1,0 +1,32 @@
+"""Shuffle (round-robin) partitioning (Section 2.2.2).
+
+Tuples are dealt to blocks in arrival order, so block sizes are equal
+(±1 tuple) regardless of the data rate — but a key's tuples scatter over
+*all* blocks, maximizing the per-key aggregation overhead at the Reduce
+stage (every block contributes a fragment of every frequent key).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.batch import BatchInfo, DataBlock
+from ..core.tuples import StreamTuple
+from .base import StreamingPartitioner
+
+__all__ = ["ShufflePartitioner"]
+
+
+class ShufflePartitioner(StreamingPartitioner):
+    """Round-robin assignment by arrival order."""
+
+    name = "shuffle"
+
+    def assign(
+        self,
+        t: StreamTuple,
+        seq: int,
+        blocks: Sequence[DataBlock],
+        info: BatchInfo,
+    ) -> int:
+        return seq % len(blocks)

@@ -1,0 +1,40 @@
+"""Time-based partitioning (Section 2.2.1) — Spark Streaming's default.
+
+The batch interval is split into ``p`` consecutive, equal-length *block
+intervals*; every tuple lands in the block of the period it arrived in.
+Block sizes therefore track the instantaneous data rate: a steady rate
+gives balanced blocks, a variable rate does not, and there is never any
+key-placement guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.batch import BatchInfo, DataBlock
+from ..core.tuples import StreamTuple
+from .base import StreamingPartitioner
+
+__all__ = ["TimeBasedPartitioner"]
+
+
+class TimeBasedPartitioner(StreamingPartitioner):
+    """Assign tuples to blocks by arrival time within the batch interval."""
+
+    name = "time"
+
+    def assign(
+        self,
+        t: StreamTuple,
+        seq: int,
+        blocks: Sequence[DataBlock],
+        info: BatchInfo,
+    ) -> int:
+        interval = info.interval
+        if interval <= 0:
+            return 0
+        offset = (t.ts - info.t_start) / interval
+        index = int(offset * len(blocks))
+        # Tuples timestamped exactly at (or re-ordered slightly past) the
+        # boundary stay in the edge blocks.
+        return min(max(index, 0), len(blocks) - 1)

@@ -1,0 +1,33 @@
+"""The benchmark queries of Section 7.1, compiled to Map-Reduce form."""
+
+from .base import (
+    Aggregator,
+    CountAggregator,
+    Query,
+    SumAggregator,
+    SumCountAggregator,
+    WindowSpec,
+)
+from .debs import debs_query1, debs_query2
+from .gcm import gcm_avg_cpu_query, gcm_total_memory_query
+from .topk import select_top_k, topk_query
+from .tpch import tpch_query1, tpch_query6
+from .wordcount import wordcount_query
+
+__all__ = [
+    "Aggregator",
+    "CountAggregator",
+    "Query",
+    "SumAggregator",
+    "SumCountAggregator",
+    "WindowSpec",
+    "debs_query1",
+    "debs_query2",
+    "gcm_avg_cpu_query",
+    "gcm_total_memory_query",
+    "select_top_k",
+    "topk_query",
+    "tpch_query1",
+    "tpch_query6",
+    "wordcount_query",
+]

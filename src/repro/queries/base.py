@@ -1,0 +1,184 @@
+"""Streaming query model: Map/Reduce functions over windowed batches.
+
+Section 2.1: a streaming query compiles into a Map-Reduce execution
+graph applied to every micro-batch; the Map stage is
+``Map(k, v1) -> (k, List(V))`` — it transforms/filters values but keeps
+the partitioning key — and the Reduce stage aggregates per key.  The
+query answer aggregates all batch outputs inside the window, with
+expired batches removed *incrementally* through an inverse Reduce
+function (Figure 3), avoiding recomputation.
+
+We express the per-key computation as an :class:`Aggregator` (zero /
+add / merge / inverse), which gives the engine everything it needs:
+map-side partial aggregation, reduce-side merging across Map fragments,
+and window retraction.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..core.tuples import Key
+
+__all__ = [
+    "Aggregator",
+    "SumAggregator",
+    "CountAggregator",
+    "SumCountAggregator",
+    "WindowSpec",
+    "Query",
+]
+
+
+class Aggregator(abc.ABC):
+    """An invertible, commutative per-key aggregation.
+
+    ``merge`` must be associative and commutative (Map fragments arrive
+    in arbitrary order); ``inverse`` must satisfy
+    ``inverse(merge(a, b), b) == a`` — the inverse-Reduce property the
+    paper relies on for sliding windows (Sections 2.1, 7).
+    """
+
+    @abc.abstractmethod
+    def zero(self) -> Any:
+        """The identity element."""
+
+    @abc.abstractmethod
+    def add(self, acc: Any, value: Any) -> Any:
+        """Fold one mapped value into an accumulator."""
+
+    @abc.abstractmethod
+    def merge(self, a: Any, b: Any) -> Any:
+        """Combine two accumulators."""
+
+    @abc.abstractmethod
+    def inverse(self, a: Any, b: Any) -> Any:
+        """Remove accumulator ``b``'s contribution from ``a``."""
+
+    def finalize(self, acc: Any) -> Any:
+        """Turn an accumulator into a result value (default: itself)."""
+        return acc
+
+
+class SumAggregator(Aggregator):
+    """Numeric sum — WordCount, DEBS fares/distances, TPC-H quantities."""
+
+    def zero(self) -> float:
+        return 0
+
+    def add(self, acc: float, value: float) -> float:
+        return acc + value
+
+    def merge(self, a: float, b: float) -> float:
+        return a + b
+
+    def inverse(self, a: float, b: float) -> float:
+        return a - b
+
+
+class CountAggregator(Aggregator):
+    """Occurrence count, ignoring the mapped value."""
+
+    def zero(self) -> int:
+        return 0
+
+    def add(self, acc: int, value: Any) -> int:
+        return acc + 1
+
+    def merge(self, a: int, b: int) -> int:
+        return a + b
+
+    def inverse(self, a: int, b: int) -> int:
+        return a - b
+
+
+class SumCountAggregator(Aggregator):
+    """(sum, count) pairs — finalizes to the mean (GCM resource averages)."""
+
+    def zero(self) -> tuple[float, int]:
+        return (0.0, 0)
+
+    def add(self, acc: tuple[float, int], value: float) -> tuple[float, int]:
+        return (acc[0] + value, acc[1] + 1)
+
+    def merge(self, a: tuple[float, int], b: tuple[float, int]) -> tuple[float, int]:
+        return (a[0] + b[0], a[1] + b[1])
+
+    def inverse(self, a: tuple[float, int], b: tuple[float, int]) -> tuple[float, int]:
+        return (a[0] - b[0], a[1] - b[1])
+
+    def finalize(self, acc: tuple[float, int]) -> float:
+        total, count = acc
+        return total / count if count else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class WindowSpec:
+    """A sliding (or, when ``slide == length``, tumbling) time window."""
+
+    length: float
+    slide: float
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"window length must be positive, got {self.length}")
+        if self.slide <= 0:
+            raise ValueError(f"window slide must be positive, got {self.slide}")
+        if self.slide > self.length:
+            raise ValueError("slide must not exceed window length")
+
+    @property
+    def is_tumbling(self) -> bool:
+        return self.slide == self.length
+
+    def batches_per_window(self, batch_interval: float) -> int:
+        """How many consecutive batches one window spans."""
+        if batch_interval <= 0:
+            raise ValueError("batch_interval must be positive")
+        return max(1, round(self.length / batch_interval))
+
+
+@dataclass(frozen=True)
+class Query:
+    """A compiled streaming query.
+
+    ``map_fn`` transforms one tuple's value (the key is fixed by the
+    partitioning schema); returning ``None`` filters the tuple out.
+    ``aggregator`` defines the Reduce (and inverse-Reduce) semantics.
+    """
+
+    name: str
+    aggregator: Aggregator
+    window: Optional[WindowSpec] = None
+    map_fn: Optional[Callable[[Key, Any], Any]] = None
+    #: Algebraic aggregations combine map-side: each Map task ships one
+    #: partial record per key fragment instead of the raw values list
+    #: (Spark's reduceByKey behaviour).  Holistic queries set this False
+    #: and ship full value lists, so cluster sizes stay proportional to
+    #: tuple counts.
+    map_side_combine: bool = True
+
+    def map_value(self, key: Key, value: Any) -> Any:
+        """Apply the Map-stage value transform; None filters the tuple."""
+        if self.map_fn is None:
+            return value
+        return self.map_fn(key, value)
+
+    def reference_output(self, tuples) -> dict[Key, Any]:
+        """Ground-truth per-key aggregate over raw tuples (test oracle).
+
+        Computes the batch answer directly, bypassing partitioning,
+        tasks, and shuffle — what any correct execution must equal.
+        """
+        out: dict[Key, Any] = {}
+        for t in tuples:
+            mapped = self.map_value(t.key, t.value)
+            if mapped is None:
+                continue
+            acc = out.get(t.key)
+            if acc is None:
+                acc = self.aggregator.zero()
+            out[t.key] = self.aggregator.add(acc, mapped)
+        return out

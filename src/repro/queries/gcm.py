@@ -1,0 +1,46 @@
+"""Google Cluster Monitoring queries (Section 7.1).
+
+GCM records describe task events of a Google data cluster; the key is
+the job id and the value a ``(cpu, memory)`` resource-request pair.
+"The GCM queries used are similar to the ones used in [25]"
+(Katsipoulakis et al.), which aggregate requested resources per job
+over sliding windows; we provide the two canonical forms: mean CPU per
+job and total memory per job.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.tuples import Key
+from .base import Query, SumAggregator, SumCountAggregator, WindowSpec
+
+__all__ = ["gcm_avg_cpu_query", "gcm_total_memory_query"]
+
+
+def _cpu(key: Key, value: Any) -> float:
+    return value[0]
+
+
+def _memory(key: Key, value: Any) -> float:
+    return value[1]
+
+
+def gcm_avg_cpu_query(window_length: float = 30.0) -> Query:
+    """Mean requested CPU per job over the window."""
+    return Query(
+        name="gcm-avg-cpu",
+        aggregator=SumCountAggregator(),
+        window=WindowSpec(length=window_length, slide=window_length / 10),
+        map_fn=_cpu,
+    )
+
+
+def gcm_total_memory_query(window_length: float = 30.0) -> Query:
+    """Total requested memory per job over the window."""
+    return Query(
+        name="gcm-total-mem",
+        aggregator=SumAggregator(),
+        window=WindowSpec(length=window_length, slide=window_length / 10),
+        map_fn=_memory,
+    )

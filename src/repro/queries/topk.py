@@ -1,0 +1,42 @@
+"""TopKCount: the k most frequent words over a sliding window (Section 7.1).
+
+The per-key computation is identical to WordCount; the top-k selection
+is a post-processing step over the window's aggregated output (it is
+not distributable per-key, so it runs on the driver after the window
+merge — the standard micro-batch formulation).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Mapping
+
+from ..core.tuples import Key, _order_token
+from .base import CountAggregator, Query, WindowSpec
+
+__all__ = ["topk_query", "select_top_k"]
+
+
+def topk_query(k: int = 10, window_length: float = 30.0) -> Query:
+    """Build the TopKCount query (per-key counting part)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return Query(
+        name=f"top{k}count",
+        aggregator=CountAggregator(),
+        window=WindowSpec(length=window_length, slide=window_length / 10),
+        map_fn=lambda key, value: 1,
+    )
+
+
+def select_top_k(window_output: Mapping[Key, int], k: int) -> list[tuple[Key, int]]:
+    """The driver-side top-k selection over a window's key counts.
+
+    Ties break on the key's stable order token so results are
+    deterministic across runs.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return heapq.nsmallest(
+        k, window_output.items(), key=lambda kv: (-kv[1], _order_token(kv[0]))
+    )

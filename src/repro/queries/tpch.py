@@ -1,0 +1,60 @@
+"""TPC-H streaming queries over LineItem (Section 7.1).
+
+"Table LineItem tracks recent orders, and TPCH Queries 1 and 6 are to
+generate Order Summary Reports, e.g., Query 1: Get the quantity of each
+Part-ID ordered over the past 1 hr with a slide-window of 1 min."
+
+LineItem tuples are keyed by part id with value
+``(quantity, extendedprice, discount)``.
+
+- *Q1*: total quantity per part over the window.
+- *Q6*: discounted revenue ``extendedprice * discount`` per part,
+  restricted to the classic Q6 predicate band
+  (``0.05 <= discount <= 0.07`` and ``quantity < 24``) — this exercises
+  the Map stage's *filter* path (tuples outside the band are scanned
+  but emit nothing).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.tuples import Key
+from .base import Query, SumAggregator, WindowSpec
+
+__all__ = ["tpch_query1", "tpch_query6"]
+
+
+def _quantity(key: Key, value: Any) -> float:
+    return value[0]
+
+
+def _q6_revenue(key: Key, value: Any) -> Optional[float]:
+    quantity, price, discount = value
+    if quantity < 24 and 0.05 <= discount <= 0.07:
+        return price * discount
+    return None
+
+
+def tpch_query1(time_scale: float = 1 / 600.0) -> Query:
+    """Quantity per part; paper window 1 h / slide 1 min, scaled."""
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    return Query(
+        name="tpch-q1",
+        aggregator=SumAggregator(),
+        window=WindowSpec(length=3600.0 * time_scale, slide=60.0 * time_scale),
+        map_fn=_quantity,
+    )
+
+
+def tpch_query6(time_scale: float = 1 / 600.0) -> Query:
+    """Discounted revenue per part under the Q6 predicate, scaled window."""
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    return Query(
+        name="tpch-q6",
+        aggregator=SumAggregator(),
+        window=WindowSpec(length=3600.0 * time_scale, slide=60.0 * time_scale),
+        map_fn=_q6_revenue,
+    )

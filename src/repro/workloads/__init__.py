@@ -1,0 +1,42 @@
+"""Workload generators: arrival processes and the Section 7.1 datasets."""
+
+from .arrival import (
+    ArrivalProcess,
+    ConstantRate,
+    PiecewiseRate,
+    RampRate,
+    ScaledRate,
+    SinusoidalRate,
+)
+from .debs_taxi import debs_taxi_source
+from .elastic import ElasticWorkloadSource
+from .gcm import gcm_source
+from .late import DelayedSource
+from .replay import ReplaySource
+from .source import DatasetProperties, StreamSource, ZipfKeyedSource
+from .synd import SYND_EXPONENTS, synd_source
+from .tpch import tpch_lineitem_source
+from .tweets import tweets_source
+from .zipf import ZipfSampler
+
+__all__ = [
+    "ArrivalProcess",
+    "ConstantRate",
+    "DatasetProperties",
+    "DelayedSource",
+    "ElasticWorkloadSource",
+    "PiecewiseRate",
+    "RampRate",
+    "ReplaySource",
+    "SYND_EXPONENTS",
+    "ScaledRate",
+    "SinusoidalRate",
+    "StreamSource",
+    "ZipfKeyedSource",
+    "ZipfSampler",
+    "debs_taxi_source",
+    "gcm_source",
+    "synd_source",
+    "tpch_lineitem_source",
+    "tweets_source",
+]

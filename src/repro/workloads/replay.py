@@ -1,0 +1,71 @@
+"""Replay source: serve a fixed, pre-built tuple list as a stream.
+
+Useful for tests, for replaying captured traces, and for feeding the
+engine hand-crafted corner cases.  Tuples must be sorted by timestamp
+(validated); ``tuples_between`` slices by timestamp with binary search,
+so repeated interval queries are cheap even for long recordings.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+from ..core.tuples import StreamTuple
+from .source import StreamSource
+
+__all__ = ["ReplaySource"]
+
+
+class ReplaySource(StreamSource):
+    """A finite, timestamp-indexed recording served as a stream."""
+
+    name = "replay"
+
+    def __init__(self, tuples: Sequence[StreamTuple], *, loop_every: float | None = None) -> None:
+        """``loop_every`` > 0 repeats the recording with that period
+        (timestamps shifted by whole periods), turning a finite trace
+        into an infinite stream."""
+        self._tuples = list(tuples)
+        ts = [t.ts for t in self._tuples]
+        if ts != sorted(ts):
+            raise ValueError("replay tuples must be sorted by timestamp")
+        if loop_every is not None:
+            if loop_every <= 0:
+                raise ValueError(f"loop_every must be positive, got {loop_every}")
+            if self._tuples and self._tuples[-1].ts >= loop_every:
+                raise ValueError(
+                    "recording spans past loop_every; timestamps must fit one period"
+                )
+        self.loop_every = loop_every
+        self._ts = ts
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def reset(self) -> None:
+        """Stateless: nothing to rewind."""
+
+    def _slice(self, t0: float, t1: float, shift: float) -> list[StreamTuple]:
+        lo = bisect.bisect_left(self._ts, t0 - shift)
+        hi = bisect.bisect_left(self._ts, t1 - shift)
+        if shift == 0.0:
+            return self._tuples[lo:hi]
+        return [
+            StreamTuple(ts=t.ts + shift, key=t.key, value=t.value, weight=t.weight)
+            for t in self._tuples[lo:hi]
+        ]
+
+    def tuples_between(self, t0: float, t1: float) -> list[StreamTuple]:
+        if t1 <= t0:
+            return []
+        if self.loop_every is None:
+            return self._slice(t0, t1, 0.0)
+        period = self.loop_every
+        out: list[StreamTuple] = []
+        first = int(t0 // period)
+        last = int((t1 - 1e-12) // period)
+        for cycle in range(first, last + 1):
+            shift = cycle * period
+            out.extend(self._slice(max(t0, shift), min(t1, shift + period), shift))
+        return out

@@ -1,0 +1,59 @@
+"""SynD: the synthetic Zipf dataset (Section 7.1, Table 1).
+
+"SynD is a synthetic dataset generated using keys drawn from the Zipf
+distribution with exponent values z in {0.1, ..., 2.0} and distinct
+keys up to 1e7."  Figure 11d sweeps the exponent to measure robustness
+against data skew.  Values carry no payload (the WordCount/TopK queries
+only count occurrences).
+"""
+
+from __future__ import annotations
+
+from .arrival import ArrivalProcess, ConstantRate
+from .source import DatasetProperties, ZipfKeyedSource
+
+__all__ = ["synd_source", "SYND_EXPONENTS"]
+
+#: The paper's skew sweep (Figure 11d x-axis).
+SYND_EXPONENTS: tuple[float, ...] = (0.2, 0.6, 1.0, 1.4, 1.8, 2.0)
+
+_PROPERTIES = DatasetProperties(
+    name="SynD",
+    paper_size="40GB",
+    paper_cardinality="500k-1M",
+    scaled_cardinality=0,  # filled per instance
+    description="Synthetic Zipf-keyed stream; exponent controls skew.",
+)
+
+
+def synd_source(
+    exponent: float,
+    *,
+    num_keys: int = 20_000,
+    arrival: ArrivalProcess | None = None,
+    rate: float = 10_000.0,
+    seed: int = 0,
+) -> ZipfKeyedSource:
+    """Build a SynD stream with the given Zipf exponent.
+
+    ``num_keys`` defaults to a laptop-scale 20k universe (the paper uses
+    up to 1e7; the skew *shape*, which drives every result, is set by
+    the exponent, not the universe size).
+    """
+    if arrival is None:
+        arrival = ConstantRate(rate)
+    props = DatasetProperties(
+        name=_PROPERTIES.name,
+        paper_size=_PROPERTIES.paper_size,
+        paper_cardinality=_PROPERTIES.paper_cardinality,
+        scaled_cardinality=num_keys,
+        description=_PROPERTIES.description,
+    )
+    return ZipfKeyedSource(
+        name=f"synd-z{exponent:g}",
+        arrival=arrival,
+        num_keys=num_keys,
+        exponent=exponent,
+        seed=seed,
+        dataset=props,
+    )

@@ -1,0 +1,50 @@
+"""Tweets: word-occurrence stream modelling the 2015 Twitter sample.
+
+Table 1 lists the real dataset at 50 GB with 790k distinct words; each
+tweet is split into words and the word is the partitioning key
+(Section 7.1).  Lacking the proprietary sample, we generate word
+occurrences from a Zipf-Mandelbrot model fitted to English text
+(``P(rank) ∝ 1/(rank + 2.7)^1.07`` — the classic Mandelbrot parameters)
+over a scaled vocabulary.  Word frequency skew is the only property the
+experiments exploit, and it is preserved.
+"""
+
+from __future__ import annotations
+
+from .arrival import ArrivalProcess, ConstantRate
+from .source import DatasetProperties, ZipfKeyedSource
+
+__all__ = ["tweets_source", "MANDELBROT_EXPONENT", "MANDELBROT_SHIFT"]
+
+#: Zipf-Mandelbrot parameters for English word frequencies.
+MANDELBROT_EXPONENT = 1.07
+MANDELBROT_SHIFT = 2.7
+
+
+def tweets_source(
+    *,
+    vocabulary: int = 25_000,
+    arrival: ArrivalProcess | None = None,
+    rate: float = 10_000.0,
+    seed: int = 0,
+) -> ZipfKeyedSource:
+    """Build the synthetic tweet-words stream."""
+    if arrival is None:
+        arrival = ConstantRate(rate)
+    props = DatasetProperties(
+        name="Tweets",
+        paper_size="50GB",
+        paper_cardinality="790k",
+        scaled_cardinality=vocabulary,
+        description="Word occurrences with English-like Zipf-Mandelbrot skew.",
+    )
+    return ZipfKeyedSource(
+        name="tweets",
+        arrival=arrival,
+        num_keys=vocabulary,
+        exponent=MANDELBROT_EXPONENT,
+        shift=MANDELBROT_SHIFT,
+        seed=seed,
+        key_formatter=lambda rank: f"w{rank}",
+        dataset=props,
+    )

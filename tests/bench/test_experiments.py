@@ -1,0 +1,137 @@
+"""Tiny-scale runs of every experiment, pinning the qualitative shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    FIG5_EXAMPLE,
+    fig6_assignment_tradeoffs,
+    fig10_partition_metrics,
+    fig11_throughput_vs_interval,
+    fig11d_skew_sweep,
+    fig12_elasticity,
+    fig13_latency_distribution,
+    fig14a_post_sort_throughput,
+    fig14b_partition_overhead,
+    table1_dataset_stats,
+)
+
+
+def test_table1_lists_all_five_datasets():
+    rows = table1_dataset_stats(rate=2000.0, sample_seconds=0.5)
+    assert [r["Name"] for r in rows] == ["Tweets", "SynD", "DEBS", "GCM", "TPC-H"]
+    for row in rows:
+        assert row["SampledTuples"] == 1000
+        assert 0 < row["SampledDistinctKeys"] <= row["SampledTuples"]
+
+
+def test_fig5_example_totals():
+    assert sum(s for _, s in FIG5_EXAMPLE) == 385
+    assert len(FIG5_EXAMPLE) == 8
+
+
+def test_fig6_prompt_balances_cardinality_best():
+    rows = fig6_assignment_tradeoffs()
+    by_name = {r["Strategy"]: r for r in rows}
+    prompt = by_name["Prompt (Algorithm 2)"]
+    fragmin = by_name["FragmentationMinimization"]
+    prompt_spread = max(prompt["BinCardinalities"]) - min(prompt["BinCardinalities"])
+    fragmin_spread = max(fragmin["BinCardinalities"]) - min(fragmin["BinCardinalities"])
+    assert prompt_spread < fragmin_spread
+    assert prompt["FragmentedKeys"] <= by_name["FirstFitDecreasing"]["FragmentedKeys"]
+
+
+@pytest.mark.parametrize("dataset", ["tweets", "tpch"])
+def test_fig10_prompt_wins_both_metrics(dataset):
+    rows = fig10_partition_metrics(
+        dataset, num_blocks=8, rate=4000.0, techniques=("shuffle", "hash", "prompt")
+    )
+    by_name = {r["Technique"]: r for r in rows}
+    # BSI: prompt ~ shuffle, far below hash (relative ~0)
+    assert by_name["prompt"]["BSI_rel_hash"] <= 0.2
+    assert by_name["shuffle"]["BSI_rel_hash"] <= 0.2
+    # BCI: prompt at or below shuffle's level; KSR near hash's ideal
+    assert by_name["prompt"]["BCI_rel_shuffle"] <= 1.5
+    assert by_name["prompt"]["KSR"] <= 1.3
+
+
+def test_fig11_prompt_at_least_matches_best_baseline():
+    rows = fig11_throughput_vs_interval(
+        intervals=(1.0,),
+        techniques=("time", "hash", "prompt"),
+        num_batches=3,
+        num_keys=2_000,
+        tolerance=0.2,
+        initial_rate=4_000.0,
+    )
+    by_name = {r["Technique"]: r["MaxThroughput"] for r in rows}
+    assert by_name["prompt"] >= by_name["hash"]
+    assert by_name["prompt"] >= 0.9 * by_name["time"]
+
+
+def test_fig11d_hash_degrades_with_skew_prompt_does_not():
+    rows = fig11d_skew_sweep(
+        exponents=(0.4, 1.6),
+        techniques=("hash", "prompt"),
+        batch_interval=1.0,
+        num_batches=3,
+        num_keys=2_000,
+        tolerance=0.2,
+        initial_rate=4_000.0,
+    )
+    get = lambda z, t: next(
+        r["MaxThroughput"] for r in rows if r["Zipf_z"] == z and r["Technique"] == t
+    )
+    # prompt beats hash clearly under strong skew
+    assert get(1.6, "prompt") > 1.3 * get(1.6, "hash")
+
+
+def test_fig12_scale_out_adds_tasks():
+    result = fig12_elasticity(
+        direction="out", num_batches=16, low_rate=1_000.0, high_rate=9_000.0,
+        low_keys=100, high_keys=1_000,
+    )
+    series = result["series"]
+    assert series[-1]["MapTasks"] > series[0]["MapTasks"]
+    assert result["actions"]
+
+
+def test_fig12_scale_in_removes_tasks():
+    result = fig12_elasticity(
+        direction="in", num_batches=16, low_rate=1_000.0, high_rate=9_000.0,
+        low_keys=100, high_keys=1_000,
+    )
+    series = result["series"]
+    assert series[-1]["MapTasks"] < series[0]["MapTasks"]
+
+
+def test_fig12_rejects_bad_direction():
+    with pytest.raises(ValueError):
+        fig12_elasticity(direction="sideways")
+
+
+def test_fig13_prompt_tightens_reduce_spread():
+    out = fig13_latency_distribution(
+        num_batches=10, rate=6_000.0, exponent=1.2,
+    )
+    time_based = out["techniques"]["time"]
+    prompt = out["techniques"]["prompt"]
+    assert prompt["mean_spread"] <= time_based["mean_spread"]
+    assert len(prompt["series"]) == 10
+
+
+def test_fig14a_post_sort_loses_throughput():
+    rows = fig14a_post_sort_throughput(
+        num_batches=3, num_keys=20_000, exponent=0.4,
+        tolerance=0.15, initial_rate=4_000.0,
+    )
+    by_name = {r["Technique"]: r["MaxThroughput"] for r in rows}
+    assert by_name["prompt"] >= by_name["prompt-postsort"]
+
+
+def test_fig14b_overhead_below_slack_budget():
+    rows = fig14b_partition_overhead(rates=(2_000.0, 5_000.0))
+    for row in rows:
+        assert row["OverheadPct"] < 5.0, row
+        assert row["BatchTuples"] > 0

@@ -1,0 +1,78 @@
+"""Throughput search: bracketing, bisection, monotone stability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ThroughputSearch, run_at_rate
+from repro.engine.cluster import ClusterConfig
+from repro.engine.engine import EngineConfig
+from repro.engine.tasks import TaskCostModel
+from repro.partitioners import make_partitioner
+from repro.queries import wordcount_query
+from repro.workloads.arrival import ConstantRate
+from repro.workloads.synd import synd_source
+
+
+def _search(**kw):
+    # deliberately heavy cost model so saturation happens at ~1-2k t/s
+    config = EngineConfig(
+        batch_interval=1.0,
+        num_blocks=2,
+        num_reducers=2,
+        cluster=ClusterConfig(num_nodes=1, cores_per_node=2),
+        cost_model=TaskCostModel(map_per_tuple=4e-4, reduce_per_tuple=2e-4),
+        track_outputs=False,
+    )
+    defaults = dict(
+        query=wordcount_query(),
+        config=config,
+        source_factory=lambda rate: synd_source(
+            0.8, num_keys=200, arrival=ConstantRate(rate), seed=2
+        ),
+        num_batches=3,
+        tolerance=0.15,
+        initial_rate=1000.0,
+    )
+    defaults.update(kw)
+    return ThroughputSearch(**defaults)
+
+
+def test_run_at_rate_returns_result():
+    search = _search()
+    result = run_at_rate(
+        make_partitioner("hash"),
+        search.query,
+        search.config,
+        search.source_factory,
+        200.0,
+        2,
+    )
+    assert len(result.stats.records) == 2
+
+
+def test_find_max_rate_brackets_the_boundary():
+    search = _search()
+    result = search.find_max_rate("prompt")
+    assert result.max_rate > 0
+    # the found rate is stable, a notch above is not
+    assert search.stable_at(make_partitioner("prompt"), result.lo)
+    assert not search.stable_at(make_partitioner("prompt"), result.hi * 1.3)
+
+
+def test_search_respects_probe_cap():
+    search = _search(max_probes=3, tolerance=0.0001)
+    result = search.find_max_rate("hash")
+    assert result.probes <= 3
+
+
+def test_compare_orders_results_like_input():
+    search = _search(tolerance=0.25)
+    results = search.compare(["hash", "prompt"])
+    assert [r.technique for r in results] == ["hash", "prompt"]
+
+
+def test_search_handles_initial_rate_above_capacity():
+    search = _search(initial_rate=50_000.0)
+    result = search.find_max_rate("prompt")
+    assert 0 < result.max_rate < 50_000.0

@@ -1,0 +1,97 @@
+"""Run reports: sparklines and rendered summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import render_run, sparkline
+from repro.core.config import ElasticityConfig
+from repro.engine.cluster import ClusterConfig
+from repro.engine.engine import EngineConfig, MicroBatchEngine
+from repro.engine.faults import FailureInjector
+from repro.engine.tasks import TaskCostModel
+from repro.partitioners import make_partitioner
+from repro.queries import wordcount_query
+from repro.workloads import ConstantRate, synd_source
+
+
+def test_sparkline_scaling():
+    line = sparkline([0.0, 0.5, 1.0], lo=0.0, hi=1.0)
+    assert len(line) == 3
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([]) == ""
+    assert sparkline([2.0, 2.0, 2.0]) == "▄▄▄"
+
+
+def test_sparkline_clamps_outliers():
+    line = sparkline([5.0, -1.0], lo=0.0, hi=1.0)
+    assert line == "█▁"
+
+
+def _run(**kw):
+    config = EngineConfig(
+        batch_interval=0.5,
+        num_blocks=2,
+        num_reducers=2,
+        cluster=ClusterConfig(num_nodes=1, cores_per_node=4),
+        **kw,
+    )
+    engine = MicroBatchEngine(
+        make_partitioner("prompt"),
+        wordcount_query(window_length=1.0),
+        config,
+        failure_injector=kw.pop("injector", None) if "injector" in kw else None,
+    )
+    source = synd_source(0.8, num_keys=200, arrival=ConstantRate(1_000.0), seed=2)
+    return engine.run(source, 6)
+
+
+def test_render_basic_run():
+    text = render_run(_run(track_outputs=False), title="demo")
+    assert text.startswith("demo\n====")
+    assert "batches:        6" in text
+    assert "stable:         yes" in text
+    assert "latency:" in text
+
+
+def test_render_includes_scaling_section():
+    result = _run(
+        track_outputs=False,
+        elasticity=ElasticityConfig(
+            threshold=0.9, step=0.3, window=1, grace=0,
+            max_map_tasks=8, max_reduce_tasks=8,
+        ),
+        cost_model=TaskCostModel(map_per_tuple=1e-3),
+    )
+    text = render_run(result)
+    if any(d.acted for d in result.scaling_history):
+        assert "scaling:" in text
+        assert "map tasks:" in text
+
+
+def test_render_includes_recoveries():
+    config = EngineConfig(
+        batch_interval=0.5, num_blocks=2, num_reducers=2, replicate_inputs=True
+    )
+    engine = MicroBatchEngine(
+        make_partitioner("prompt"),
+        wordcount_query(window_length=1.0),
+        config,
+        failure_injector=FailureInjector([1]),
+    )
+    source = synd_source(0.8, num_keys=100, arrival=ConstantRate(500.0), seed=3)
+    text = render_run(engine.run(source, 4))
+    assert "recoveries:     1 (1 matched" in text
+
+
+def test_render_reports_instability():
+    result = _run(
+        track_outputs=False,
+        cost_model=TaskCostModel(map_per_tuple=5e-3),
+    )
+    text = render_run(result)
+    assert "NO (back-pressure at batch" in text

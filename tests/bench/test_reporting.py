@@ -1,0 +1,55 @@
+"""Bench reporting: tables, series, JSON persistence."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.reporting import format_series, format_table, results_dir, save_results
+
+
+def test_format_table_alignment_and_values():
+    rows = [
+        {"Technique": "prompt", "Throughput": 12345.678},
+        {"Technique": "hash", "Throughput": 0.5},
+    ]
+    text = format_table(rows, title="Fig X")
+    lines = text.splitlines()
+    assert lines[0] == "Fig X"
+    assert "Technique" in lines[1]
+    assert "12,346" in text
+    assert "0.500" in text
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([])
+
+
+def test_format_table_selected_columns():
+    rows = [{"a": 1, "b": 2}]
+    text = format_table(rows, columns=["b"])
+    assert "a" not in text.splitlines()[0]
+
+
+def test_format_table_handles_inf_and_nan():
+    text = format_table([{"v": float("inf")}, {"v": float("nan")}])
+    assert "inf" in text
+    assert "nan" in text
+
+
+def test_format_series():
+    text = format_series([(1, 2.0), (2, 4.0)], headers=["batch", "value"])
+    assert "batch" in text
+    assert "4.000" in text
+
+
+def test_results_dir_is_inside_repo():
+    path = results_dir()
+    assert path.name == "results"
+    assert path.parent.name == "benchmarks"
+    assert path.is_dir()
+
+
+def test_save_results_roundtrip():
+    path = save_results("unittest-sample", {"rows": [1, 2, 3]})
+    assert json.loads(path.read_text()) == {"rows": [1, 2, 3]}
+    path.unlink()

@@ -1,0 +1,52 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.batch import BatchInfo
+from repro.core.tuples import StreamTuple
+
+
+def make_tuples(freqs: dict, *, start: float = 0.0, spacing: float = 0.001, shuffle_seed=None):
+    """Build a tuple list with exactly ``freqs[key]`` tuples per key.
+
+    Tuples are interleaved (optionally shuffled deterministically) and
+    timestamped in arrival order — convenient for exercising both
+    batch-wide and tuple-at-a-time partitioners.
+    """
+    population = [k for k, n in freqs.items() for _ in range(n)]
+    if shuffle_seed is not None:
+        random.Random(shuffle_seed).shuffle(population)
+    return [
+        StreamTuple(ts=start + i * spacing, key=k, value=None)
+        for i, k in enumerate(population)
+    ]
+
+
+def zipfish_freqs(num_keys: int, total: int) -> dict:
+    """A deterministic skewed frequency map summing to ~``total``."""
+    weights = [1.0 / (i + 1) for i in range(num_keys)]
+    scale = total / sum(weights)
+    freqs = {f"k{i}": max(1, round(w * scale)) for i, w in enumerate(weights)}
+    return freqs
+
+
+@pytest.fixture
+def unit_info() -> BatchInfo:
+    """A one-second batch interval starting at t=0."""
+    return BatchInfo(index=0, t_start=0.0, t_end=1.0)
+
+
+@pytest.fixture
+def skewed_tuples():
+    """~1100 tuples over 50 keys with 1/rank skew, shuffled."""
+    return make_tuples(zipfish_freqs(50, 1000), shuffle_seed=7)
+
+
+@pytest.fixture
+def uniform_tuples():
+    """400 tuples over 100 keys, 4 each, shuffled."""
+    return make_tuples({f"u{i}": 4 for i in range(100)}, shuffle_seed=11)

@@ -1,0 +1,192 @@
+"""Micro-batch accumulator (Algorithm 1): budgeted quasi-sorting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.batch import BatchInfo
+from repro.core.buffering import MicroBatchAccumulator
+from repro.core.config import AccumulatorConfig
+from repro.core.tuples import StreamTuple
+
+from ..conftest import make_tuples, zipfish_freqs
+
+
+def _info(index=0, t0=0.0, t1=1.0):
+    return BatchInfo(index=index, t_start=t0, t_end=t1)
+
+
+def _feed(acc, tuples):
+    for t in tuples:
+        acc.accept(t)
+
+
+def test_requires_open_interval():
+    acc = MicroBatchAccumulator()
+    with pytest.raises(RuntimeError):
+        _ = acc.info
+    with pytest.raises(RuntimeError):
+        acc.accept(StreamTuple(ts=0.0, key="a"))
+
+
+def test_rejects_empty_interval():
+    acc = MicroBatchAccumulator()
+    with pytest.raises(ValueError):
+        acc.start_interval(BatchInfo(0, 1.0, 1.0))
+
+
+def test_counts_tuples_and_keys():
+    acc = MicroBatchAccumulator()
+    acc.start_interval(_info())
+    _feed(acc, make_tuples({"a": 3, "b": 2, "c": 1}))
+    assert acc.tuple_count == 6
+    assert acc.key_count == 3
+
+
+def test_finalize_packages_all_tuples():
+    acc = MicroBatchAccumulator()
+    acc.start_interval(_info())
+    tuples = make_tuples({"a": 5, "b": 3, "c": 2}, shuffle_seed=1)
+    _feed(acc, tuples)
+    batch = acc.finalize()
+    assert batch.tuple_count == 10
+    assert batch.key_count == 3
+    assert sum(g.count for g in batch.key_groups) == 10
+    assert {g.key for g in batch.key_groups} == {"a", "b", "c"}
+
+
+def test_finalize_resets_structures():
+    acc = MicroBatchAccumulator()
+    acc.start_interval(_info())
+    _feed(acc, make_tuples({"a": 2}))
+    acc.finalize()
+    assert acc.htable.tuple_count == 0
+    assert len(acc.count_tree) == 0
+    with pytest.raises(RuntimeError):
+        _ = acc.info
+
+
+def test_exact_mode_yields_fully_sorted_groups():
+    acc = MicroBatchAccumulator(exact_updates=True)
+    acc.start_interval(_info())
+    _feed(acc, make_tuples(zipfish_freqs(30, 600), shuffle_seed=5))
+    batch = acc.finalize()
+    sizes = [g.size for g in batch.key_groups]
+    assert sizes == sorted(sizes, reverse=True)
+    assert batch.sort_quality() == 1.0
+
+
+def test_exact_mode_tracked_counts_match_exact_counts():
+    acc = MicroBatchAccumulator(exact_updates=True)
+    acc.start_interval(_info())
+    _feed(acc, make_tuples({"a": 7, "b": 4}, shuffle_seed=2))
+    batch = acc.finalize()
+    for g in batch.key_groups:
+        assert g.tracked_count == g.count
+
+
+def test_budget_limits_tree_updates():
+    config = AccumulatorConfig(budget=2, expected_tuples=1000, expected_keys=10)
+    acc = MicroBatchAccumulator(config)
+    acc.start_interval(_info())
+    _feed(acc, make_tuples({"hot": 500}, spacing=1e-6))
+    # one insert (not counted as update) + at most `budget` repositionings
+    assert acc.tree_updates <= config.budget
+
+
+def test_budgeted_quasi_sort_is_good_on_skewed_data():
+    config = AccumulatorConfig(budget=8, expected_tuples=1000, expected_keys=50)
+    acc = MicroBatchAccumulator(config)
+    acc.start_interval(_info())
+    _feed(acc, make_tuples(zipfish_freqs(50, 1000), spacing=1e-4, shuffle_seed=9))
+    batch = acc.finalize()
+    # Quasi-sorted: the overwhelming majority of adjacent pairs ordered.
+    assert batch.sort_quality() >= 0.85
+    # And the actual hottest key surfaces at/near the top.
+    top_keys = [g.key for g in batch.key_groups[:3]]
+    assert "k0" in top_keys
+
+
+def test_tree_updates_much_cheaper_than_per_tuple():
+    n = 2000
+    config = AccumulatorConfig(budget=4, expected_tuples=n, expected_keys=20)
+    acc = MicroBatchAccumulator(config)
+    acc.start_interval(_info())
+    _feed(acc, make_tuples(zipfish_freqs(20, n), spacing=1e-5, shuffle_seed=3))
+    batch = acc.finalize()
+    # Bounded by roughly budget * K, far below one update per tuple.
+    assert batch.tree_updates <= config.budget * batch.key_count
+    assert batch.tree_updates < batch.tuple_count / 4
+
+
+def test_time_step_triggers_updates_for_slow_keys():
+    """A key receiving sparse tuples still refreshes via t.step."""
+    config = AccumulatorConfig(budget=4, expected_tuples=10_000, expected_keys=2)
+    acc = MicroBatchAccumulator(config)
+    acc.start_interval(_info(t1=10.0))
+    # f.step is initially huge (10_000/(2*4)); only t.step can fire.
+    for i in range(8):
+        acc.accept(StreamTuple(ts=i * 1.2, key="slow"))
+    record = acc.htable.get("slow")
+    assert record.freq_updated > 1  # got refreshed beyond the insert
+
+
+def test_history_adapts_estimates():
+    config = AccumulatorConfig(budget=4, expected_tuples=10, expected_keys=1)
+    acc = MicroBatchAccumulator(config)
+    for k in range(3):
+        acc.start_interval(_info(index=k, t0=float(k), t1=float(k + 1)))
+        _feed(
+            acc,
+            make_tuples({f"x{i}": 4 for i in range(25)}, start=float(k), spacing=1e-4),
+        )
+        acc.finalize()
+    assert acc.estimated_tuples() == 100
+    assert acc.average_keys() == 25
+
+
+def test_data_rate_property():
+    acc = MicroBatchAccumulator()
+    acc.start_interval(_info(t1=2.0))
+    _feed(acc, make_tuples({"a": 100}, spacing=1e-4))
+    batch = acc.finalize()
+    assert batch.data_rate == pytest.approx(50.0)
+
+
+def test_arrival_order_reconstruction():
+    acc = MicroBatchAccumulator()
+    acc.start_interval(_info())
+    tuples = make_tuples({"a": 3, "b": 3}, shuffle_seed=13)
+    _feed(acc, tuples)
+    batch = acc.finalize()
+    assert [t.ts for t in batch.arrival_order()] == sorted(t.ts for t in tuples)
+
+
+def test_total_weight_tracked():
+    acc = MicroBatchAccumulator()
+    acc.start_interval(_info())
+    acc.accept(StreamTuple(ts=0.0, key="a", weight=5))
+    acc.accept(StreamTuple(ts=0.1, key="b", weight=2))
+    batch = acc.finalize()
+    assert batch.total_weight == 7
+
+
+def test_consecutive_intervals_are_independent():
+    acc = MicroBatchAccumulator()
+    acc.start_interval(_info(index=0))
+    _feed(acc, make_tuples({"a": 10}))
+    first = acc.finalize()
+    acc.start_interval(_info(index=1, t0=1.0, t1=2.0))
+    _feed(acc, make_tuples({"b": 5}, start=1.0))
+    second = acc.finalize()
+    assert first.key_count == 1 and second.key_count == 1
+    assert {g.key for g in second.key_groups} == {"b"}
+
+
+def test_sort_quality_of_single_key_batch_is_one():
+    acc = MicroBatchAccumulator()
+    acc.start_interval(_info())
+    _feed(acc, make_tuples({"only": 5}))
+    assert acc.finalize().sort_quality() == 1.0

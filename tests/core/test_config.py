@@ -1,0 +1,86 @@
+"""Configuration validation and paper defaults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    AccumulatorConfig,
+    EarlyReleaseConfig,
+    ElasticityConfig,
+    MPIWeights,
+    PartitionerConfig,
+    PromptConfig,
+)
+
+
+def test_accumulator_defaults_and_initial_step():
+    cfg = AccumulatorConfig(budget=8, expected_tuples=8000, expected_keys=100)
+    assert cfg.initial_frequency_step == 8000 // (100 * 8)
+
+
+def test_initial_step_is_at_least_one():
+    cfg = AccumulatorConfig(budget=10, expected_tuples=5, expected_keys=100)
+    assert cfg.initial_frequency_step == 1
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"budget": 0},
+        {"expected_tuples": 0},
+        {"expected_keys": 0},
+        {"history_window": 0},
+    ],
+)
+def test_accumulator_validation(kwargs):
+    with pytest.raises(ValueError):
+        AccumulatorConfig(**kwargs)
+
+
+def test_mpi_weights_default_to_equal_thirds():
+    w = MPIWeights()
+    assert w.p1 == pytest.approx(1 / 3)
+    assert w.p1 + w.p2 + w.p3 == pytest.approx(1.0)
+
+
+def test_partitioner_config_validation():
+    with pytest.raises(ValueError):
+        PartitionerConfig(split_cutoff_scale=0.0)
+
+
+def test_early_release_paper_default():
+    assert EarlyReleaseConfig().slack_fraction == pytest.approx(0.05)
+
+
+def test_elasticity_paper_defaults():
+    cfg = ElasticityConfig()
+    assert cfg.threshold == pytest.approx(0.90)
+    assert cfg.step == pytest.approx(0.10)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"threshold": 0.0},
+        {"threshold": 2.5},
+        {"step": 0.0},
+        {"step": 0.95},
+        {"window": 0},
+        {"grace": -1},
+        {"min_map_tasks": 0},
+        {"min_map_tasks": 8, "max_map_tasks": 4},
+        {"min_reduce_tasks": 9, "max_reduce_tasks": 3},
+    ],
+)
+def test_elasticity_validation(kwargs):
+    with pytest.raises(ValueError):
+        ElasticityConfig(**kwargs)
+
+
+def test_prompt_config_bundles_defaults():
+    cfg = PromptConfig()
+    assert cfg.accumulator.budget == 8
+    assert cfg.early_release.slack_fraction == pytest.approx(0.05)
+    assert cfg.elasticity.threshold == pytest.approx(0.9)
+    assert cfg.partitioner.weights.p2 == pytest.approx(1 / 3)

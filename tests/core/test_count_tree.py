@@ -1,0 +1,202 @@
+"""CountTree: AVL invariants, handle-based updates, traversal order."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.count_tree import CountTree
+
+
+def test_empty_tree():
+    tree = CountTree()
+    assert len(tree) == 0
+    assert not tree
+    assert list(tree.in_order()) == []
+    assert list(tree.in_order_desc()) == []
+    assert tree.min_node() is None
+    assert tree.max_node() is None
+    tree.check_invariants()
+
+
+def test_single_insert():
+    tree = CountTree()
+    node = tree.insert("a", 5)
+    assert len(tree) == 1
+    assert node.key == "a"
+    assert node.count == 5
+    assert tree.min_node() is node
+    assert tree.max_node() is node
+    tree.check_invariants()
+
+
+def test_insert_rejects_negative_count():
+    tree = CountTree()
+    with pytest.raises(ValueError):
+        tree.insert("a", -1)
+
+
+def test_update_rejects_negative_count():
+    tree = CountTree()
+    node = tree.insert("a", 1)
+    with pytest.raises(ValueError):
+        tree.update(node, -2)
+
+
+def test_in_order_is_ascending_by_count():
+    tree = CountTree()
+    for i, count in enumerate([5, 3, 8, 1, 9, 2]):
+        tree.insert(f"k{i}", count)
+    counts = [n.count for n in tree.in_order()]
+    assert counts == sorted(counts)
+    tree.check_invariants()
+
+
+def test_in_order_desc_is_reverse_of_in_order():
+    tree = CountTree()
+    for i in range(20):
+        tree.insert(f"k{i}", (i * 7) % 13)
+    fwd = [(n.count, n.key) for n in tree.in_order()]
+    bwd = [(n.count, n.key) for n in tree.in_order_desc()]
+    assert bwd == list(reversed(fwd))
+
+
+def test_ties_break_deterministically_by_key_token():
+    tree = CountTree()
+    tree.insert("b", 4)
+    tree.insert("a", 4)
+    tree.insert("c", 4)
+    keys = [n.key for n in tree.in_order()]
+    assert keys == sorted(keys)
+
+
+def test_update_repositions_node():
+    tree = CountTree()
+    a = tree.insert("a", 1)
+    tree.insert("b", 5)
+    tree.insert("c", 10)
+    tree.update(a, 7)
+    assert [n.key for n in tree.in_order()] == ["b", "a", "c"]
+    assert a.count == 7
+    tree.check_invariants()
+
+
+def test_update_to_same_count_is_noop():
+    tree = CountTree()
+    a = tree.insert("a", 3)
+    tree.insert("b", 3)
+    before = [n.key for n in tree.in_order()]
+    tree.update(a, 3)
+    assert [n.key for n in tree.in_order()] == before
+    tree.check_invariants()
+
+
+def test_handles_stay_valid_across_many_updates():
+    """The HTable holds node references; updates must never invalidate them."""
+    tree = CountTree()
+    nodes = {k: tree.insert(k, 1) for k in "abcdefghij"}
+    rng = random.Random(42)
+    for _ in range(500):
+        key = rng.choice("abcdefghij")
+        nodes[key].count  # handle is alive
+        tree.update(nodes[key], rng.randint(0, 100))
+        tree.check_invariants()
+    assert len(tree) == 10
+    in_tree = {n.key for n in tree.in_order()}
+    assert in_tree == set("abcdefghij")
+
+
+def test_remove_node():
+    tree = CountTree()
+    nodes = {k: tree.insert(k, i) for i, k in enumerate("abcde")}
+    tree.remove(nodes["c"])
+    assert len(tree) == 4
+    assert [n.key for n in tree.in_order()] == ["a", "b", "d", "e"]
+    tree.check_invariants()
+
+
+def test_remove_all_nodes_in_random_order():
+    tree = CountTree()
+    rng = random.Random(3)
+    nodes = [tree.insert(f"k{i}", rng.randint(0, 50)) for i in range(60)]
+    rng.shuffle(nodes)
+    for i, node in enumerate(nodes):
+        tree.remove(node)
+        tree.check_invariants()
+        assert len(tree) == 60 - i - 1
+    assert not tree
+
+
+def test_clear_resets_everything():
+    tree = CountTree()
+    for i in range(10):
+        tree.insert(f"k{i}", i)
+    tree.clear()
+    assert len(tree) == 0
+    assert list(tree.in_order()) == []
+    tree.insert("fresh", 1)
+    assert len(tree) == 1
+
+
+def test_large_tree_traversal_is_iterative():
+    """100k keys must traverse without hitting the recursion limit."""
+    tree = CountTree()
+    for i in range(100_000):
+        tree.insert(i, i % 997)
+    assert len(tree) == 100_000
+    counts = [n.count for n in tree.in_order()]
+    assert counts == sorted(counts)
+
+
+def test_min_max_nodes():
+    tree = CountTree()
+    for i, c in enumerate([4, 9, 1, 7, 3]):
+        tree.insert(f"k{i}", c)
+    assert tree.min_node().count == 1
+    assert tree.max_node().count == 9
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 1000)),
+        min_size=1,
+        max_size=150,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_matches_sorted_model(ops):
+    """Random insert/update sequences match a sorted-list model."""
+    tree = CountTree()
+    nodes = {}
+    model = {}
+    for key, count in ops:
+        if key in nodes:
+            tree.update(nodes[key], count)
+        else:
+            nodes[key] = tree.insert(key, count)
+        model[key] = count
+    tree.check_invariants()
+    got = [(n.count, n.key) for n in tree.in_order()]
+    expected = sorted((c, k) for k, c in model.items())
+    assert [c for c, _ in got] == [c for c, _ in expected]
+    assert {k for _, k in got} == set(model)
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 15), st.booleans()), max_size=120)
+)
+@settings(max_examples=60, deadline=None)
+def test_property_insert_remove_interleaved(ops):
+    """Interleaved inserts and removals keep AVL invariants and size."""
+    tree = CountTree()
+    nodes = {}
+    for key, is_remove in ops:
+        if is_remove and key in nodes:
+            tree.remove(nodes.pop(key))
+        elif not is_remove and key not in nodes:
+            nodes[key] = tree.insert(key, key * 3)
+        tree.check_invariants()
+    assert len(tree) == len(nodes)

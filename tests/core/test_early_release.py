@@ -1,0 +1,61 @@
+"""Early Batch Release: windows, cut-offs, overhead audit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import BatchInfo
+from repro.core.config import EarlyReleaseConfig
+from repro.core.early_release import EarlyReleaseController
+
+
+def test_window_uses_slack_fraction():
+    ctl = EarlyReleaseController(EarlyReleaseConfig(slack_fraction=0.05))
+    window = ctl.window_for(BatchInfo(0, 0.0, 2.0))
+    assert window.heartbeat == 2.0
+    assert window.cutoff == pytest.approx(1.9)
+    assert window.slack == pytest.approx(0.1)
+
+
+def test_zero_slack_degenerates_to_heartbeat():
+    ctl = EarlyReleaseController(EarlyReleaseConfig(slack_fraction=0.0))
+    window = ctl.window_for(BatchInfo(0, 0.0, 1.0))
+    assert window.cutoff == window.heartbeat
+
+
+def test_slack_fraction_bounds():
+    with pytest.raises(ValueError):
+        EarlyReleaseConfig(slack_fraction=1.0)
+    with pytest.raises(ValueError):
+        EarlyReleaseConfig(slack_fraction=-0.1)
+
+
+def test_belongs_to_next_batch():
+    ctl = EarlyReleaseController()
+    window = ctl.window_for(BatchInfo(0, 0.0, 1.0))
+    assert not ctl.belongs_to_next_batch(0.5, window)
+    assert ctl.belongs_to_next_batch(0.96, window)
+    assert ctl.belongs_to_next_batch(window.cutoff, window)
+
+
+def test_record_and_miss_rate():
+    ctl = EarlyReleaseController(EarlyReleaseConfig(slack_fraction=0.05))
+    window = ctl.window_for(BatchInfo(0, 0.0, 1.0))  # slack 0.05
+    assert ctl.record(0.01, window) is True
+    assert ctl.record(0.2, window) is False
+    assert ctl.miss_rate() == pytest.approx(0.5)
+    assert len(ctl.observations) == 2
+
+
+def test_miss_rate_empty():
+    assert EarlyReleaseController().miss_rate() == 0.0
+
+
+def test_overhead_fractions():
+    ctl = EarlyReleaseController()
+    window = ctl.window_for(BatchInfo(0, 0.0, 1.0))
+    ctl.record(0.02, window)
+    ctl.record(0.04, window)
+    assert ctl.overhead_fractions(2.0) == [pytest.approx(0.01), pytest.approx(0.02)]
+    with pytest.raises(ValueError):
+        ctl.overhead_fractions(0.0)

@@ -1,0 +1,160 @@
+"""Algorithm 4: zones, thresholds, trends, grace periods, bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ElasticityConfig
+from repro.core.elasticity import AutoScaler, Zone
+
+CFG = ElasticityConfig(threshold=0.9, step=0.1, window=3, grace=2,
+                       min_map_tasks=1, max_map_tasks=16,
+                       min_reduce_tasks=1, max_reduce_tasks=16)
+
+
+def _scaler(**kw):
+    return AutoScaler(CFG, map_tasks=kw.pop("map_tasks", 4),
+                      reduce_tasks=kw.pop("reduce_tasks", 4))
+
+
+def test_zone_classification():
+    s = _scaler()
+    assert s.zone_for(0.5) is Zone.UNDER_UTILIZED
+    assert s.zone_for(0.8) is Zone.UNDER_UTILIZED
+    assert s.zone_for(0.85) is Zone.STABLE
+    assert s.zone_for(0.9) is Zone.STABLE
+    assert s.zone_for(0.95) is Zone.OVERLOADED
+    assert s.zone_for(1.5) is Zone.OVERLOADED
+
+
+def test_stable_zone_never_acts():
+    s = _scaler()
+    for _ in range(20):
+        d = s.observe(0.85, 1.0, data_rate=100, key_count=10)
+        assert not d.acted
+    assert s.map_tasks == 4
+    assert s.reduce_tasks == 4
+
+
+def test_scale_out_requires_d_consecutive_overloads():
+    s = _scaler()
+    for i in range(CFG.window - 1):
+        d = s.observe(1.2, 1.0, data_rate=100 + i, key_count=10)
+        assert not d.acted
+    # an intervening stable batch resets the count
+    s.observe(0.85, 1.0, data_rate=100, key_count=10)
+    for i in range(CFG.window - 1):
+        d = s.observe(1.2, 1.0, data_rate=200 + i, key_count=10)
+        assert not d.acted
+    d = s.observe(1.2, 1.0, data_rate=300, key_count=10)
+    assert d.acted
+    assert d.map_delta == 1
+
+
+def test_rate_trend_adds_mappers_only():
+    s = _scaler()
+    for i in range(CFG.window):
+        d = s.observe(1.2, 1.0, data_rate=100 * (i + 1), key_count=10)
+    assert d.map_delta == 1
+    assert d.reduce_delta == 0
+
+
+def test_key_trend_adds_reducers_only():
+    s = _scaler()
+    for i in range(CFG.window):
+        d = s.observe(1.2, 1.0, data_rate=100, key_count=10 * (i + 1))
+    assert d.map_delta == 0
+    assert d.reduce_delta == 1
+
+
+def test_both_trends_add_both():
+    s = _scaler()
+    for i in range(CFG.window):
+        d = s.observe(1.2, 1.0, data_rate=100 * (i + 1), key_count=10 * (i + 1))
+    assert d.map_delta == 1
+    assert d.reduce_delta == 1
+
+
+def test_no_trend_still_scales_maps_in_zone3():
+    s = _scaler()
+    for _ in range(CFG.window):
+        d = s.observe(1.5, 1.0, data_rate=100, key_count=10)
+    assert d.map_delta == 1
+
+
+def test_grace_period_suppresses_further_actions():
+    s = _scaler()
+    for i in range(CFG.window):
+        d = s.observe(1.2, 1.0, data_rate=100 * (i + 1), key_count=10)
+    assert d.acted
+    for _ in range(CFG.grace):
+        d = s.observe(1.2, 1.0, data_rate=1000, key_count=10)
+        assert not d.acted
+        assert d.reason == "grace period"
+
+
+def test_scale_in_on_underutilization():
+    s = _scaler()
+    for i in range(CFG.window):
+        d = s.observe(0.3, 1.0, data_rate=100 - 10 * i, key_count=10)
+    assert d.acted
+    assert d.map_delta == -1
+    assert s.map_tasks == 3
+
+
+def test_scale_in_reduces_reducers_on_key_drop():
+    s = _scaler()
+    for i in range(CFG.window):
+        d = s.observe(0.3, 1.0, data_rate=100, key_count=100 - 10 * i)
+    assert d.reduce_delta == -1
+
+
+def test_bounds_are_respected():
+    cfg = ElasticityConfig(window=1, grace=0, max_map_tasks=4, max_reduce_tasks=4)
+    s = AutoScaler(cfg, map_tasks=4, reduce_tasks=4)
+    d = s.observe(1.5, 1.0, data_rate=1e6, key_count=1)
+    assert s.map_tasks == 4  # already at max
+    assert not d.acted
+    assert d.reason == "at parallelism bounds"
+
+
+def test_min_bounds_respected():
+    cfg = ElasticityConfig(window=1, grace=0)
+    s = AutoScaler(cfg, map_tasks=1, reduce_tasks=1)
+    d = s.observe(0.1, 1.0, data_rate=1, key_count=1)
+    assert s.map_tasks == 1
+    assert s.reduce_tasks == 1
+
+
+def test_initial_tasks_outside_bounds_rejected():
+    with pytest.raises(ValueError):
+        AutoScaler(CFG, map_tasks=0, reduce_tasks=4)
+    with pytest.raises(ValueError):
+        AutoScaler(CFG, map_tasks=4, reduce_tasks=99)
+
+
+def test_observe_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        _scaler().observe(1.0, 0.0, data_rate=1, key_count=1)
+
+
+def test_decision_records_load_and_counts():
+    s = _scaler()
+    d = s.observe(0.45, 1.0, data_rate=10, key_count=2)
+    assert d.load == pytest.approx(0.45)
+    assert d.map_tasks == 4
+    assert d.zone is Zone.UNDER_UTILIZED
+
+
+def test_tracks_workload_through_full_ramp():
+    """Scaling out repeatedly follows a sustained rate ramp."""
+    cfg = ElasticityConfig(threshold=0.9, step=0.3, window=2, grace=1,
+                           max_map_tasks=32, max_reduce_tasks=32)
+    s = AutoScaler(cfg, map_tasks=2, reduce_tasks=2)
+    rate = 100.0
+    for batch in range(30):
+        rate *= 1.1
+        # load inversely proportional to parallelism
+        load = rate / (120.0 * s.map_tasks)
+        s.observe(load, 1.0, data_rate=rate, key_count=50)
+    assert s.map_tasks >= 6  # grew substantially with the workload

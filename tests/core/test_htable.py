@@ -1,0 +1,86 @@
+"""HTable: per-key chains, counters, and reset semantics."""
+
+from __future__ import annotations
+
+from repro.core.htable import HTable, KeyRecord
+from repro.core.tuples import StreamTuple
+
+
+def _t(key, ts=0.0, weight=1):
+    return StreamTuple(ts=ts, key=key, weight=weight)
+
+
+def test_empty_table():
+    table = HTable()
+    assert len(table) == 0
+    assert table.tuple_count == 0
+    assert table.weight == 0
+    assert "a" not in table
+    assert table.get("a") is None
+
+
+def test_append_creates_record_and_counts():
+    table = HTable()
+    record = table.append(_t("a"))
+    assert isinstance(record, KeyRecord)
+    assert "a" in table
+    assert len(table) == 1
+    assert table.tuple_count == 1
+    assert record.freq_current == 1
+    assert record.weight == 1
+
+
+def test_append_chains_under_same_key():
+    table = HTable()
+    table.append(_t("a"))
+    record = table.append(_t("a", ts=0.1))
+    assert len(table) == 1
+    assert table.tuple_count == 2
+    assert record.freq_current == 2
+    assert len(record.tuples) == 2
+    assert [t.ts for t in record.tuples] == [0.0, 0.1]
+
+
+def test_weight_accumulates():
+    table = HTable()
+    table.append(_t("a", weight=2))
+    table.append(_t("b", weight=3))
+    assert table.weight == 5
+    assert table.get("a").weight == 2
+
+
+def test_pending_delta():
+    table = HTable()
+    record = table.append(_t("a"))
+    record.freq_updated = 1
+    table.append(_t("a"))
+    table.append(_t("a"))
+    assert record.pending_delta == 2
+
+
+def test_record_for_is_idempotent():
+    table = HTable()
+    r1 = table.record_for("x")
+    r2 = table.record_for("x")
+    assert r1 is r2
+    assert len(table) == 1
+    # record_for alone does not count tuples
+    assert table.tuple_count == 0
+
+
+def test_iteration_yields_records():
+    table = HTable()
+    for k in ("a", "b", "c"):
+        table.append(_t(k))
+    assert {r.key for r in table} == {"a", "b", "c"}
+
+
+def test_clear_resets_everything():
+    table = HTable()
+    for k in ("a", "b"):
+        table.append(_t(k))
+    table.clear()
+    assert len(table) == 0
+    assert table.tuple_count == 0
+    assert table.weight == 0
+    assert table.get("a") is None

@@ -1,0 +1,118 @@
+"""Cost-model metrics: BSI, BCI, KSR, MPI (Eqns. 2-6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import BatchInfo, DataBlock, PartitionedBatch
+from repro.core.config import MPIWeights
+from repro.core.metrics import (
+    block_cardinality_imbalance,
+    block_size_imbalance,
+    evaluate_partition,
+    key_split_ratio,
+    micro_batch_partitioning_imbalance,
+    relative_metric,
+)
+from repro.core.tuples import StreamTuple
+
+
+def _block(index, sizes: dict):
+    block = DataBlock(index)
+    for key, n in sizes.items():
+        block.add_fragment(key, [StreamTuple(ts=0.0, key=key) for _ in range(n)])
+    return block
+
+
+def _batch(*block_specs):
+    blocks = [_block(i, spec) for i, spec in enumerate(block_specs)]
+    batch = PartitionedBatch(info=BatchInfo(0, 0.0, 1.0), blocks=blocks)
+    batch.compute_split_keys()
+    return batch
+
+
+def test_bsi_hand_computed():
+    blocks = [_block(0, {"a": 10}), _block(1, {"b": 4}), _block(2, {"c": 4})]
+    # sizes 10, 4, 4 -> max 10, avg 6 -> BSI 4
+    assert block_size_imbalance(blocks) == pytest.approx(4.0)
+
+
+def test_bsi_zero_for_equal_blocks():
+    blocks = [_block(0, {"a": 5}), _block(1, {"b": 5})]
+    assert block_size_imbalance(blocks) == 0.0
+
+
+def test_bsi_empty():
+    assert block_size_imbalance([]) == 0.0
+
+
+def test_bci_hand_computed():
+    blocks = [
+        _block(0, {"a": 1, "b": 1, "c": 1}),  # cardinality 3
+        _block(1, {"d": 3}),                   # cardinality 1
+    ]
+    assert block_cardinality_imbalance(blocks) == pytest.approx(1.0)
+
+
+def test_ksr_one_when_no_splits():
+    batch = _batch({"a": 3}, {"b": 2})
+    assert key_split_ratio(batch) == 1.0
+
+
+def test_ksr_counts_fragments():
+    # "a" split over both blocks: 3 fragments over 2 keys = 1.5
+    batch = _batch({"a": 2, "b": 1}, {"a": 1})
+    assert key_split_ratio(batch) == pytest.approx(3 / 2)
+
+
+def test_ksr_empty_batch():
+    batch = _batch()
+    assert key_split_ratio(batch) == 1.0
+
+
+def test_mpi_zero_for_perfect_partition():
+    batch = _batch({"a": 3, "b": 3}, {"c": 3, "d": 3})
+    assert micro_batch_partitioning_imbalance(batch) == pytest.approx(0.0)
+
+
+def test_mpi_weights_must_sum_to_one():
+    with pytest.raises(ValueError):
+        MPIWeights(p1=0.5, p2=0.5, p3=0.5)
+    with pytest.raises(ValueError):
+        MPIWeights(p1=-0.2, p2=0.6, p3=0.6)
+
+
+def test_mpi_extreme_weights_select_single_metric():
+    # One block fat (size imbalance), but no splits, balanced keys.
+    batch = _batch({"a": 9, "b": 1}, {"c": 1, "d": 1})
+    size_only = micro_batch_partitioning_imbalance(batch, MPIWeights(1.0, 0.0, 0.0))
+    locality_only = micro_batch_partitioning_imbalance(batch, MPIWeights(0.0, 0.0, 1.0))
+    assert size_only > 0
+    assert locality_only == pytest.approx(0.0)
+
+
+def test_mpi_increases_with_splits():
+    no_split = _batch({"a": 2}, {"b": 2})
+    split = _batch({"a": 2}, {"a": 2})
+    w = MPIWeights(0.0, 0.0, 1.0)
+    assert micro_batch_partitioning_imbalance(split, w) > micro_batch_partitioning_imbalance(no_split, w)
+
+
+def test_evaluate_partition_bundle():
+    batch = _batch({"a": 4, "b": 2}, {"c": 2})
+    quality = evaluate_partition(batch)
+    assert quality.bsi == pytest.approx(2.0)
+    assert quality.bci == pytest.approx(0.5)
+    assert quality.ksr == 1.0
+    assert quality.max_block_size == 6
+    assert quality.avg_block_size == pytest.approx(4.0)
+    assert quality.max_block_cardinality == 2
+    row = quality.as_row()
+    assert set(row) == {"BSI", "BCI", "KSR", "MPI"}
+
+
+def test_relative_metric():
+    assert relative_metric(5.0, 10.0) == pytest.approx(0.5)
+    assert relative_metric(0.0, 0.0) == 0.0
+    assert relative_metric(1.0, 0.0) == float("inf")
+    assert relative_metric(10.0, 10.0) == pytest.approx(1.0)

@@ -1,0 +1,220 @@
+"""Space-Saving and Lossy Counting sketches: guarantees and bounds."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sketches import LossyCountingSketch, SpaceSavingSketch
+
+
+def _zipf_stream(num_keys=100, total=5000, seed=1):
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) for i in range(num_keys)]
+    keys = rng.choices(range(num_keys), weights=weights, k=total)
+    return keys
+
+
+# ----------------------------------------------------------------------
+# Space-Saving
+# ----------------------------------------------------------------------
+def test_space_saving_exact_below_capacity():
+    sketch = SpaceSavingSketch(capacity=10)
+    for key in ["a", "b", "a", "c", "a"]:
+        sketch.add(key)
+    assert sketch.estimate("a") == 3
+    assert sketch.estimate("b") == 1
+    assert sketch.guaranteed("a") == 3
+    assert sketch.error_bound() == 0
+    assert sketch.total == 5
+
+
+def test_space_saving_capacity_is_bounded():
+    sketch = SpaceSavingSketch(capacity=8)
+    for key in _zipf_stream():
+        sketch.add(key)
+    assert len(sketch) <= 8
+
+
+def test_space_saving_overestimates_never_underestimates():
+    stream = _zipf_stream(num_keys=50, total=3000)
+    truth = Counter(stream)
+    sketch = SpaceSavingSketch(capacity=16)
+    for key in stream:
+        sketch.add(key)
+    for key, estimate in sketch.items():
+        assert estimate >= truth[key]
+        assert sketch.guaranteed(key) <= truth[key]
+
+
+def test_space_saving_error_bound_holds():
+    stream = _zipf_stream(num_keys=200, total=4000)
+    truth = Counter(stream)
+    capacity = 32
+    sketch = SpaceSavingSketch(capacity=capacity)
+    for key in stream:
+        sketch.add(key)
+    bound = sketch.error_bound()
+    assert bound <= sketch.total / capacity + 1
+    for key, estimate in sketch.items():
+        assert estimate - truth[key] <= bound
+
+
+def test_space_saving_finds_the_heavy_hitters():
+    stream = _zipf_stream(num_keys=100, total=5000)
+    truth = Counter(stream)
+    sketch = SpaceSavingSketch(capacity=32)
+    for key in stream:
+        sketch.add(key)
+    hitters = dict(sketch.heavy_hitters(0.05))
+    for key, count in truth.items():
+        if count > 0.08 * len(stream):  # comfortably heavy
+            assert key in hitters
+
+
+def test_space_saving_weighted_add():
+    sketch = SpaceSavingSketch(capacity=4)
+    sketch.add("a", count=10)
+    assert sketch.estimate("a") == 10
+    assert sketch.total == 10
+
+
+def test_space_saving_items_sorted_descending():
+    sketch = SpaceSavingSketch(capacity=8)
+    for key, n in [("a", 5), ("b", 9), ("c", 2)]:
+        sketch.add(key, count=n)
+    estimates = [e for _, e in sketch.items()]
+    assert estimates == sorted(estimates, reverse=True)
+
+
+def test_space_saving_clear():
+    sketch = SpaceSavingSketch(capacity=4)
+    sketch.add("a")
+    sketch.clear()
+    assert len(sketch) == 0
+    assert sketch.total == 0
+
+
+def test_space_saving_validation():
+    with pytest.raises(ValueError):
+        SpaceSavingSketch(0)
+    sketch = SpaceSavingSketch(4)
+    with pytest.raises(ValueError):
+        sketch.add("a", count=0)
+    with pytest.raises(ValueError):
+        sketch.heavy_hitters(0.0)
+
+
+# ----------------------------------------------------------------------
+# Lossy Counting
+# ----------------------------------------------------------------------
+def test_lossy_counting_exact_for_short_streams():
+    sketch = LossyCountingSketch(epsilon=0.01)  # bucket width 100
+    for key in ["a"] * 5 + ["b"] * 3:
+        sketch.add(key)
+    assert sketch.estimate("a") == 5
+    assert sketch.estimate("b") == 3
+
+
+def test_lossy_counting_undercounts_by_at_most_eps_n():
+    stream = _zipf_stream(num_keys=100, total=5000, seed=3)
+    truth = Counter(stream)
+    eps = 0.02
+    sketch = LossyCountingSketch(epsilon=eps)
+    for key in stream:
+        sketch.add(key)
+    for key, count in truth.items():
+        estimate = sketch.estimate(key)
+        assert estimate <= count
+        assert count - estimate <= eps * len(stream)
+
+
+def test_lossy_counting_retains_frequent_keys():
+    stream = _zipf_stream(num_keys=100, total=5000, seed=4)
+    truth = Counter(stream)
+    eps = 0.01
+    sketch = LossyCountingSketch(epsilon=eps)
+    for key in stream:
+        sketch.add(key)
+    for key, count in truth.items():
+        if count >= eps * len(stream):
+            assert sketch.estimate(key) > 0, f"frequent key {key} dropped"
+
+
+def test_lossy_counting_prunes_rare_keys():
+    sketch = LossyCountingSketch(epsilon=0.1)  # bucket width 10
+    # 100 distinct singletons: nearly all should be pruned
+    for i in range(100):
+        sketch.add(f"k{i}")
+    assert len(sketch) < 30
+
+
+def test_lossy_counting_heavy_hitters_no_false_negatives():
+    stream = _zipf_stream(num_keys=50, total=3000, seed=5)
+    truth = Counter(stream)
+    sketch = LossyCountingSketch(epsilon=0.01)
+    for key in stream:
+        sketch.add(key)
+    hitters = {k for k, _ in sketch.heavy_hitters(0.05)}
+    for key, count in truth.items():
+        if count >= 0.05 * len(stream):
+            assert key in hitters
+
+
+def test_lossy_counting_validation():
+    with pytest.raises(ValueError):
+        LossyCountingSketch(0.0)
+    with pytest.raises(ValueError):
+        LossyCountingSketch(1.0)
+    sketch = LossyCountingSketch(0.1)
+    with pytest.raises(ValueError):
+        sketch.add("a", count=-1)
+    with pytest.raises(ValueError):
+        sketch.heavy_hitters(1.5)
+
+
+def test_lossy_counting_clear():
+    sketch = LossyCountingSketch(0.1)
+    sketch.add("a", count=5)
+    sketch.clear()
+    assert len(sketch) == 0
+    assert sketch.total == 0
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+@given(
+    keys=st.lists(st.integers(0, 30), min_size=1, max_size=400),
+    capacity=st.integers(1, 16),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_space_saving_invariants(keys, capacity):
+    truth = Counter(keys)
+    sketch = SpaceSavingSketch(capacity)
+    for key in keys:
+        sketch.add(key)
+    assert len(sketch) <= capacity
+    assert sketch.total == len(keys)
+    for key, estimate in sketch.items():
+        assert estimate >= truth[key]
+
+
+@given(
+    keys=st.lists(st.integers(0, 20), min_size=1, max_size=300),
+    epsilon=st.sampled_from([0.5, 0.1, 0.05]),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_lossy_counting_invariants(keys, epsilon):
+    truth = Counter(keys)
+    sketch = LossyCountingSketch(epsilon)
+    for key in keys:
+        sketch.add(key)
+    assert sketch.total == len(keys)
+    for key, estimate in sketch.items():
+        assert estimate <= truth[key]
+        assert truth[key] - estimate <= epsilon * len(keys)

@@ -1,0 +1,93 @@
+"""Back-pressure signal and the stability criterion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.backpressure import (
+    BackpressureConfig,
+    BackpressureMonitor,
+    run_is_stable,
+)
+from repro.engine.stats import BatchRecord, RunStats
+
+
+def _record(index, processing, interval=1.0, queue=0.0):
+    heartbeat = (index + 1) * interval
+    start = heartbeat + queue
+    return BatchRecord(
+        index=index,
+        t_start=index * interval,
+        heartbeat=heartbeat,
+        ready_at=heartbeat,
+        exec_start=start,
+        exec_finish=start + processing,
+        processing_time=processing,
+        tuple_count=100,
+        key_count=10,
+        map_tasks=4,
+        reduce_tasks=4,
+        map_durations=(processing,),
+        reduce_durations=(0.0,),
+        bucket_weights=(100,),
+        partition_elapsed=0.0,
+    )
+
+
+def test_monitor_quiet_under_light_load():
+    monitor = BackpressureMonitor()
+    for i in range(10):
+        assert not monitor.observe(i, load=0.5, queue_delay=0.0, batch_interval=1.0)
+    assert not monitor.triggered
+
+
+def test_monitor_trips_on_queue_delay():
+    monitor = BackpressureMonitor(BackpressureConfig(max_queue_intervals=1.0, warmup_batches=0))
+    assert monitor.observe(0, load=0.5, queue_delay=1.5, batch_interval=1.0)
+    assert monitor.triggered
+    assert monitor.triggered_at == 0
+
+
+def test_monitor_trips_on_sustained_overload():
+    monitor = BackpressureMonitor(BackpressureConfig(warmup_batches=1))
+    assert not monitor.observe(0, load=5.0, queue_delay=0.0, batch_interval=1.0)  # warmup
+    fired = [monitor.observe(i, load=1.2, queue_delay=0.0, batch_interval=1.0) for i in range(1, 4)]
+    assert any(fired)
+
+
+def test_monitor_ignores_warmup_spike():
+    monitor = BackpressureMonitor(BackpressureConfig(warmup_batches=2))
+    monitor.observe(0, load=3.0, queue_delay=5.0, batch_interval=1.0)
+    monitor.observe(1, load=3.0, queue_delay=5.0, batch_interval=1.0)
+    assert not monitor.triggered
+    for i in range(2, 8):
+        monitor.observe(i, load=0.5, queue_delay=0.0, batch_interval=1.0)
+    assert not monitor.triggered
+
+
+def test_monitor_stays_triggered():
+    monitor = BackpressureMonitor(BackpressureConfig(warmup_batches=0))
+    monitor.observe(0, load=0.1, queue_delay=9.0, batch_interval=1.0)
+    assert monitor.observe(1, load=0.1, queue_delay=0.0, batch_interval=1.0)
+    assert monitor.triggered_at == 0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BackpressureConfig(max_queue_intervals=-1)
+    with pytest.raises(ValueError):
+        BackpressureConfig(max_mean_load=0.0)
+    with pytest.raises(ValueError):
+        BackpressureConfig(warmup_batches=-1)
+
+
+def test_run_is_stable_post_hoc():
+    stats = RunStats(batch_interval=1.0)
+    for i in range(6):
+        stats.add(_record(i, processing=0.5))
+    assert run_is_stable(stats)
+
+    overloaded = RunStats(batch_interval=1.0)
+    for i in range(6):
+        overloaded.add(_record(i, processing=1.5, queue=float(i)))
+    assert not run_is_stable(overloaded)

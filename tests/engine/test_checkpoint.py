@@ -1,0 +1,120 @@
+"""Driver checkpointing: snapshot/restore and exactly-once continuation."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.engine.checkpoint import (
+    CheckpointManager,
+    WindowSnapshot,
+    restore_window,
+    snapshot_window,
+)
+from repro.engine.windows import WindowedAggregator
+from repro.queries.base import SumAggregator
+
+BATCHES = [
+    {"a": 1, "b": 2},
+    {"a": 3},
+    {"c": 5},
+    {"a": 1, "c": -5},
+    {"b": 4},
+    {"a": 2, "b": 1},
+]
+
+
+def _window():
+    return WindowedAggregator(SumAggregator(), batches_per_window=3)
+
+
+def test_snapshot_roundtrip_continues_identically():
+    """Crash after batch k, restore, replay the rest: identical answers."""
+    for crash_after in range(1, len(BATCHES)):
+        reference = _window()
+        expected = [reference.add_batch(b) for b in BATCHES]
+
+        live = _window()
+        for b in BATCHES[:crash_after]:
+            live.add_batch(b)
+        snapshot = snapshot_window(live, next_batch_index=crash_after)
+
+        recovered = restore_window(_window(), snapshot)
+        resumed = [recovered.add_batch(b) for b in BATCHES[crash_after:]]
+        assert resumed == expected[crash_after:], f"crash_after={crash_after}"
+
+
+def test_snapshot_is_deep():
+    live = _window()
+    live.add_batch({"a": 1})
+    snapshot = snapshot_window(live, 1)
+    live.add_batch({"a": 10})
+    assert snapshot.answer == {"a": 1}
+
+
+def test_restore_validates_window_shape():
+    live = _window()
+    live.add_batch({"a": 1})
+    snapshot = snapshot_window(live, 1)
+    wrong = WindowedAggregator(SumAggregator(), batches_per_window=5)
+    with pytest.raises(ValueError, match="window spans"):
+        restore_window(wrong, snapshot)
+
+
+def test_restore_requires_fresh_target():
+    live = _window()
+    live.add_batch({"a": 1})
+    snapshot = snapshot_window(live, 1)
+    dirty = _window()
+    dirty.add_batch({"x": 1})
+    with pytest.raises(ValueError, match="fresh"):
+        restore_window(dirty, snapshot)
+
+
+def test_snapshot_validation():
+    with pytest.raises(ValueError):
+        WindowSnapshot(
+            next_batch_index=-1, batches_per_window=2, cached_outputs=(), answer={}
+        )
+    with pytest.raises(ValueError):
+        WindowSnapshot(
+            next_batch_index=0,
+            batches_per_window=1,
+            cached_outputs=({}, {}),
+            answer={},
+        )
+
+
+def test_manager_save_load_latest_prune(tmp_path):
+    manager = CheckpointManager(tmp_path / "ckpt")
+    live = _window()
+    for i, b in enumerate(BATCHES[:4]):
+        live.add_batch(b)
+        manager.save(snapshot_window(live, i + 1))
+    assert manager.load(2).next_batch_index == 2
+    latest = manager.latest()
+    assert latest is not None
+    assert latest.next_batch_index == 4
+    removed = manager.prune(keep=2)
+    assert removed == 2
+    assert manager.latest().next_batch_index == 4
+    with pytest.raises(FileNotFoundError):
+        manager.load(1)
+
+
+def test_manager_latest_empty(tmp_path):
+    assert CheckpointManager(tmp_path / "none").latest() is None
+
+
+def test_manager_rejects_foreign_pickles(tmp_path):
+    manager = CheckpointManager(tmp_path)
+    path = manager.path_for(0)
+    path.write_bytes(pickle.dumps({"not": "a snapshot"}))
+    with pytest.raises(TypeError):
+        manager.load(0)
+
+
+def test_manager_prune_validation(tmp_path):
+    with pytest.raises(ValueError):
+        CheckpointManager(tmp_path).prune(keep=0)

@@ -1,0 +1,80 @@
+"""Cluster model and LPT makespan."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.cluster import Cluster, ClusterConfig, makespan
+
+
+def test_makespan_tasks_fit_on_cores():
+    assert makespan([1.0, 2.0, 3.0], 4) == 3.0
+
+
+def test_makespan_single_core_sums():
+    assert makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+
+def test_makespan_queueing():
+    # 4 unit tasks on 2 cores: 2 rounds
+    assert makespan([1.0] * 4, 2) == pytest.approx(2.0)
+
+
+def test_makespan_lpt_order():
+    # LPT: [5] on one core; [3,2,1] -> cores {5},{3,2} or {5,1},{3,2}
+    assert makespan([5.0, 3.0, 2.0, 1.0], 2) == pytest.approx(6.0)
+
+
+def test_makespan_empty():
+    assert makespan([], 8) == 0.0
+
+
+def test_makespan_validation():
+    with pytest.raises(ValueError):
+        makespan([1.0], 0)
+    with pytest.raises(ValueError):
+        makespan([-1.0], 2)
+
+
+@given(
+    durations=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=30),
+    cores=st.integers(1, 8),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_makespan_bounds(durations, cores):
+    """Classic bounds: max(T) <= makespan, makespan <= sum/m + max."""
+    m = makespan(durations, cores)
+    assert m >= max(durations) - 1e-9
+    assert m <= sum(durations) / cores + max(durations) + 1e-9
+    assert m <= sum(durations) + 1e-9
+
+
+def test_cluster_config_totals():
+    assert ClusterConfig(num_nodes=20, cores_per_node=16).total_cores == 320
+
+
+def test_cluster_config_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(num_nodes=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(cores_per_node=0)
+
+
+def test_cluster_allocation_clamped():
+    cluster = Cluster(ClusterConfig(num_nodes=2, cores_per_node=4))
+    assert cluster.allocated_cores == 8
+    assert cluster.allocate(100) == 8
+    assert cluster.allocate(0) == 1
+    assert cluster.allocate(5) == 5
+
+
+def test_cluster_rejects_bad_initial_allocation():
+    with pytest.raises(ValueError):
+        Cluster(ClusterConfig(num_nodes=1, cores_per_node=2), allocated_cores=5)
+
+
+def test_cluster_stage_makespan_uses_allocation():
+    cluster = Cluster(ClusterConfig(num_nodes=1, cores_per_node=4), allocated_cores=2)
+    assert cluster.stage_makespan([1.0] * 4) == pytest.approx(2.0)

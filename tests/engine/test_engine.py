@@ -1,0 +1,181 @@
+"""End-to-end engine runs: correctness, stability, elasticity, faults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EarlyReleaseConfig, ElasticityConfig
+from repro.engine.cluster import ClusterConfig
+from repro.engine.engine import EngineConfig, MicroBatchEngine
+from repro.engine.faults import FailureInjector
+from repro.engine.tasks import TaskCostModel
+from repro.partitioners import PARTITIONER_NAMES, make_partitioner
+from repro.queries import wordcount_query
+from repro.queries.base import Query, SumAggregator, WindowSpec
+from repro.workloads.arrival import ConstantRate, RampRate
+from repro.workloads.elastic import ElasticWorkloadSource
+from repro.workloads.synd import synd_source
+
+
+def _config(**kw):
+    defaults = dict(
+        batch_interval=1.0,
+        num_blocks=4,
+        num_reducers=4,
+        cluster=ClusterConfig(num_nodes=2, cores_per_node=4),
+    )
+    defaults.update(kw)
+    return EngineConfig(**defaults)
+
+
+def _source(rate=2000.0, z=1.0, seed=0):
+    return synd_source(z, num_keys=500, arrival=ConstantRate(rate), seed=seed)
+
+
+def test_run_produces_one_record_per_batch():
+    engine = MicroBatchEngine(make_partitioner("prompt"), wordcount_query(), _config())
+    result = engine.run(_source(), 6)
+    assert len(result.stats.records) == 6
+    assert [r.index for r in result.stats.records] == list(range(6))
+
+
+def test_run_rejects_zero_batches():
+    engine = MicroBatchEngine(make_partitioner("hash"), wordcount_query(), _config())
+    with pytest.raises(ValueError):
+        engine.run(_source(), 0)
+
+
+@pytest.mark.parametrize("name", ["time", "shuffle", "hash", "pk2", "cam", "prompt"])
+def test_every_technique_computes_identical_answers(name):
+    """Partitioning must never change query semantics."""
+    query = Query(
+        name="sum",
+        aggregator=SumAggregator(),
+        window=WindowSpec(length=3.0, slide=1.0),
+        map_fn=lambda k, v: 1,
+    )
+    config = _config(early_release=EarlyReleaseConfig(slack_fraction=0.0))
+    engine = MicroBatchEngine(make_partitioner(name), query, config)
+    result = engine.run(_source(rate=800, seed=4), 4)
+    # reference: recompute window answers from the raw stream
+    reference_source = _source(rate=800, seed=4)
+    batch_refs = [
+        query.reference_output(reference_source.tuples_between(float(k), float(k + 1)))
+        for k in range(4)
+    ]
+    for k in range(4):
+        naive: dict = {}
+        for b in batch_refs[max(0, k - 2) : k + 1]:
+            for key, v in b.items():
+                naive[key] = naive.get(key, 0) + v
+        assert result.window_answers[k] == naive, f"batch {k} mismatch for {name}"
+
+
+def test_light_load_is_stable_heavy_load_is_not():
+    light = MicroBatchEngine(make_partitioner("prompt"), wordcount_query(), _config())
+    assert light.run(_source(rate=1000), 5).stable
+    heavy = MicroBatchEngine(
+        make_partitioner("prompt"),
+        wordcount_query(),
+        _config(cost_model=TaskCostModel(map_per_tuple=5e-3)),
+    )
+    assert not heavy.run(_source(rate=2000), 5).stable
+
+
+def test_latency_includes_queueing_under_overload():
+    engine = MicroBatchEngine(
+        make_partitioner("hash"),
+        wordcount_query(),
+        _config(cost_model=TaskCostModel(map_per_tuple=2e-3)),
+    )
+    result = engine.run(_source(rate=2000), 6)
+    assert result.stats.max_queue_delay() > 0
+    # queueing grows monotonically while overloaded
+    delays = [r.queue_delay for r in result.stats.records]
+    assert delays[-1] >= delays[1]
+
+
+def test_prompt_engine_uses_early_release_cutoff():
+    engine = MicroBatchEngine(make_partitioner("prompt"), wordcount_query(), _config())
+    result = engine.run(_source(rate=1000), 3)
+    # partitioning latency was audited against the slack
+    assert len(result.early_release.observations) == 3
+
+
+def test_elasticity_scales_out_under_ramp():
+    arrival = RampRate(500, 8000, 2.0, 18.0)
+    source = ElasticWorkloadSource(arrival, keys_start=100, keys_end=1500, t0=2.0, t1=18.0, seed=5)
+    config = _config(
+        num_blocks=2,
+        num_reducers=2,
+        cluster=ClusterConfig(num_nodes=8, cores_per_node=4),
+        elasticity=ElasticityConfig(
+            threshold=0.9, step=0.3, window=2, grace=1,
+            max_map_tasks=16, max_reduce_tasks=16,
+        ),
+        cost_model=TaskCostModel(map_per_tuple=4e-4, reduce_per_fragment=1e-3),
+        track_outputs=False,
+    )
+    engine = MicroBatchEngine(make_partitioner("prompt"), wordcount_query(), config)
+    result = engine.run(source, 20)
+    final = result.stats.records[-1]
+    assert final.map_tasks > 2  # grew with the workload
+    assert any(d.acted for d in result.scaling_history)
+
+
+def test_fixed_plan_without_elasticity():
+    engine = MicroBatchEngine(make_partitioner("prompt"), wordcount_query(), _config())
+    result = engine.run(_source(), 4)
+    assert all(r.map_tasks == 4 and r.reduce_tasks == 4 for r in result.stats.records)
+    assert result.scaling_history == []
+
+
+def test_fault_injection_recovers_exactly_once():
+    config = _config(replicate_inputs=True)
+    injector = FailureInjector([1, 2])
+    engine = MicroBatchEngine(
+        make_partitioner("prompt"), wordcount_query(), config,
+        failure_injector=injector,
+    )
+    result = engine.run(_source(rate=500), 4)
+    assert len(result.recoveries) == 2
+    assert all(e.matched_original for e in result.recoveries)
+
+
+def test_state_eviction_tracks_window():
+    query = wordcount_query(window_length=2.0)  # 2 batches per window
+    engine = MicroBatchEngine(make_partitioner("hash"), query, _config())
+    result = engine.run(_source(rate=300), 6)
+    # only the active window's states remain
+    assert len(result.state_store) <= 2
+
+
+def test_track_outputs_disabled_skips_state():
+    config = _config(track_outputs=False)
+    engine = MicroBatchEngine(make_partitioner("hash"), wordcount_query(), config)
+    result = engine.run(_source(rate=300), 3)
+    assert result.window_answers == []
+    assert len(result.state_store) == 0
+
+
+def test_engine_config_validation():
+    with pytest.raises(ValueError):
+        EngineConfig(batch_interval=0.0)
+    with pytest.raises(ValueError):
+        EngineConfig(num_blocks=0)
+    with pytest.raises(ValueError):
+        EngineConfig(num_reducers=0)
+
+
+def test_deterministic_runs():
+    def run():
+        engine = MicroBatchEngine(
+            make_partitioner("prompt"), wordcount_query(), _config()
+        )
+        return engine.run(_source(seed=9), 4)
+
+    a, b = run(), run()
+    assert [r.processing_time for r in a.stats.records] == [
+        r.processing_time for r in b.stats.records
+    ]
+    assert a.window_answers == b.window_answers

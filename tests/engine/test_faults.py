@@ -1,0 +1,71 @@
+"""Failure injection and exactly-once recovery (Section 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tuples import StreamTuple
+from repro.engine.faults import FailureInjector, recover_batch
+from repro.engine.state import StateStore
+from repro.queries.base import Query, SumAggregator
+
+
+def _query():
+    return Query(name="sum", aggregator=SumAggregator())
+
+
+def _tuples():
+    return [
+        StreamTuple(ts=0.0, key="a", value=1),
+        StreamTuple(ts=0.1, key="b", value=2),
+        StreamTuple(ts=0.2, key="a", value=3),
+    ]
+
+
+def test_recover_batch_recomputes_from_replica():
+    store = StateStore(replicate_inputs=True)
+    query = _query()
+    tuples = _tuples()
+    store.put(0, query.reference_output(tuples), tuples)
+    store.drop_output(0)
+    recovered = recover_batch(store, 0, query)
+    assert dict(recovered) == {"a": 4, "b": 2}
+    assert dict(store.get(0).output) == {"a": 4, "b": 2}
+
+
+def test_recover_unreplicated_state_fails():
+    store = StateStore()
+    store.put(0, {"a": 1})
+    with pytest.raises(RuntimeError, match="unrecoverable"):
+        recover_batch(store, 0, _query())
+
+
+def test_injector_exactly_once():
+    store = StateStore(replicate_inputs=True)
+    query = _query()
+    tuples = _tuples()
+    store.put(3, query.reference_output(tuples), tuples)
+    injector = FailureInjector([3])
+    assert injector.should_fail(3)
+    assert not injector.should_fail(2)
+    event = injector.fail_and_recover(store, 3, query)
+    assert event.matched_original
+    assert event.recovered_keys == 2
+    assert injector.events == [event]
+
+
+def test_injector_detects_nondeterministic_query():
+    """A query whose recomputation differs flags the mismatch."""
+    store = StateStore(replicate_inputs=True)
+    tuples = _tuples()
+    query = _query()
+    store.put(0, {"a": 999}, tuples)  # wrong original state
+    injector = FailureInjector([0])
+    event = injector.fail_and_recover(store, 0, query)
+    assert not event.matched_original
+
+
+def test_injector_empty_by_default():
+    injector = FailureInjector()
+    assert not injector.should_fail(0)
+    assert injector.events == []

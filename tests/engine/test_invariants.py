@@ -1,0 +1,126 @@
+"""Run-invariant auditing across engine configurations."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import ElasticityConfig
+from repro.engine.cluster import ClusterConfig
+from repro.engine.engine import EngineConfig, MicroBatchEngine
+from repro.engine.faults import FailureInjector
+from repro.engine.invariants import InvariantViolation, check_run_invariants
+from repro.engine.lateness import LatenessConfig
+from repro.engine.tasks import TaskCostModel
+from repro.extensions.batch_sizing import BatchSizingConfig
+from repro.partitioners import make_partitioner
+from repro.queries import wordcount_query
+from repro.workloads import ConstantRate, DelayedSource, synd_source
+
+
+def _run(technique="prompt", batches=6, rate=1_200.0, injector=None, **cfg):
+    config = EngineConfig(
+        batch_interval=0.5,
+        num_blocks=3,
+        num_reducers=3,
+        cluster=ClusterConfig(num_nodes=2, cores_per_node=4),
+        **cfg,
+    )
+    engine = MicroBatchEngine(
+        make_partitioner(technique),
+        wordcount_query(window_length=1.0),
+        config,
+        failure_injector=injector,
+    )
+    source = synd_source(0.8, num_keys=200, arrival=ConstantRate(rate), seed=6)
+    return engine.run(source, batches)
+
+
+@pytest.mark.parametrize("technique", ["time", "hash", "prompt", "prompt-sketch"])
+def test_plain_runs_satisfy_invariants(technique):
+    check_run_invariants(_run(technique))
+
+
+def test_overloaded_run_satisfies_invariants():
+    check_run_invariants(
+        _run(cost_model=TaskCostModel(map_per_tuple=3e-3), track_outputs=False)
+    )
+
+
+def test_elastic_run_satisfies_invariants():
+    check_run_invariants(
+        _run(
+            elasticity=ElasticityConfig(
+                threshold=0.9, step=0.3, window=1, grace=0,
+                max_map_tasks=8, max_reduce_tasks=8,
+            ),
+            cost_model=TaskCostModel(map_per_tuple=1e-3),
+            track_outputs=False,
+        )
+    )
+
+
+def test_batch_sized_run_satisfies_invariants():
+    check_run_invariants(
+        _run(
+            batch_sizing=BatchSizingConfig(
+                target_ratio=0.8, min_interval=0.25, max_interval=4.0
+            ),
+            cost_model=TaskCostModel(map_fixed=0.2, map_per_tuple=4e-4),
+            track_outputs=False,
+        )
+    )
+
+
+def test_faulty_run_satisfies_invariants():
+    check_run_invariants(
+        _run(injector=FailureInjector([1, 3]), replicate_inputs=True)
+    )
+
+
+def test_late_run_satisfies_invariants():
+    config = EngineConfig(
+        batch_interval=0.5,
+        num_blocks=3,
+        num_reducers=3,
+        lateness=LatenessConfig(max_delay=0.1),
+        track_outputs=False,
+    )
+    engine = MicroBatchEngine(make_partitioner("hash"), wordcount_query(), config)
+    base = synd_source(0.8, num_keys=200, arrival=ConstantRate(1_000.0), seed=7)
+    source = DelayedSource(base, max_delay=0.3, delayed_fraction=0.3, seed=7)
+    result = engine.run(source, 6)
+    check_run_invariants(result)
+
+
+def test_detects_broken_latency_accounting():
+    result = _run(batches=3, track_outputs=False)
+    record = result.stats.records[1]
+    broken = dataclasses.replace(record, processing_time=record.processing_time + 1.0)
+    result.stats.records[1] = broken
+    with pytest.raises(InvariantViolation, match="latency accounting"):
+        check_run_invariants(result)
+
+
+def test_detects_timeline_gap():
+    result = _run(batches=3, track_outputs=False)
+    record = result.stats.records[2]
+    # shift the whole record in time so only the cross-record gap check trips
+    result.stats.records[2] = dataclasses.replace(
+        record,
+        t_start=record.t_start + 0.1,
+        heartbeat=record.heartbeat + 0.1,
+        ready_at=record.ready_at + 0.1,
+        exec_start=record.exec_start + 0.1,
+        exec_finish=record.exec_finish + 0.1,
+    )
+    with pytest.raises(InvariantViolation, match="timeline gap"):
+        check_run_invariants(result)
+
+
+def test_detects_noncontiguous_indexes():
+    result = _run(batches=3, track_outputs=False)
+    del result.stats.records[1]
+    with pytest.raises(InvariantViolation, match="not contiguous"):
+        check_run_invariants(result)

@@ -1,0 +1,88 @@
+"""Property: partitioning never changes query semantics, end to end.
+
+For random mixes of keys/values and any technique, the engine's batch
+outputs must equal the direct per-key reference aggregation — the
+strongest correctness statement the system makes (key locality plus
+fragment merging plus windowing all have to cooperate).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import BatchInfo
+from repro.core.tuples import StreamTuple
+from repro.engine.tasks import TaskCostModel, execute_batch_tasks
+from repro.partitioners import make_partitioner
+from repro.queries.base import Query, SumAggregator
+
+TECHNIQUES = ("time", "shuffle", "hash", "pk2", "pk5", "pkh", "cam", "prompt",
+              "prompt-zigzag", "prompt-sketch")
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(1, 120))
+    keys = draw(st.lists(st.integers(0, 25), min_size=n, max_size=n))
+    values = draw(st.lists(st.integers(-10, 10), min_size=n, max_size=n))
+    return [
+        StreamTuple(ts=i / max(1, n), key=k, value=v)
+        for i, (k, v) in enumerate(zip(keys, values))
+    ]
+
+
+@given(
+    tuples=workloads(),
+    technique=st.sampled_from(TECHNIQUES),
+    num_blocks=st.integers(1, 6),
+    num_reducers=st.integers(1, 5),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_batch_output_equals_reference(
+    tuples, technique, num_blocks, num_reducers
+):
+    query = Query(name="sum", aggregator=SumAggregator())
+    partitioner = make_partitioner(technique)
+    batch = partitioner.partition(tuples, num_blocks, BatchInfo(0, 0.0, 1.0))
+    batch.validate(expected_tuples=len(tuples))
+    execution = execute_batch_tasks(
+        batch, query, partitioner, num_reducers, TaskCostModel()
+    )
+    assert execution.batch_output() == query.reference_output(tuples)
+
+
+@given(
+    tuples=workloads(),
+    technique=st.sampled_from(("shuffle", "hash", "prompt")),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_filtered_queries_stay_correct(tuples, technique):
+    """Map-side filtering composes with any partitioning."""
+    query = Query(
+        name="positive-sum",
+        aggregator=SumAggregator(),
+        map_fn=lambda k, v: v if v > 0 else None,
+    )
+    partitioner = make_partitioner(technique)
+    batch = partitioner.partition(tuples, 4, BatchInfo(0, 0.0, 1.0))
+    execution = execute_batch_tasks(batch, query, partitioner, 3, TaskCostModel())
+    assert execution.batch_output() == query.reference_output(tuples)
+
+
+@given(
+    tuples=workloads(),
+    technique=st.sampled_from(("shuffle", "prompt")),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_holistic_queries_stay_correct(tuples, technique):
+    """Without map-side combine (holistic), outputs still match."""
+    query = Query(
+        name="sum-holistic",
+        aggregator=SumAggregator(),
+        map_side_combine=False,
+    )
+    partitioner = make_partitioner(technique)
+    batch = partitioner.partition(tuples, 3, BatchInfo(0, 0.0, 1.0))
+    execution = execute_batch_tasks(batch, query, partitioner, 4, TaskCostModel())
+    assert execution.batch_output() == query.reference_output(tuples)

@@ -1,0 +1,70 @@
+"""Receiver: batch framing, early-release cut-offs, carry-over."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import BatchInfo
+from repro.core.config import EarlyReleaseConfig
+from repro.core.early_release import EarlyReleaseController
+from repro.engine.receiver import Receiver
+from repro.workloads.arrival import ConstantRate
+from repro.workloads.synd import synd_source
+
+
+def _source(rate=1000.0, seed=0):
+    return synd_source(0.5, num_keys=50, arrival=ConstantRate(rate), seed=seed)
+
+
+def test_collect_without_cutoff_spans_full_interval():
+    receiver = Receiver(_source(), use_cutoff=False)
+    tuples, window = receiver.collect(BatchInfo(0, 0.0, 1.0))
+    assert len(tuples) == 1000
+    assert all(0.0 <= t.ts < 1.0 for t in tuples)
+    assert window.heartbeat == 1.0
+
+
+def test_collect_with_cutoff_holds_back_slack_tuples():
+    ctl = EarlyReleaseController(EarlyReleaseConfig(slack_fraction=0.10))
+    receiver = Receiver(_source(), early_release=ctl, use_cutoff=True)
+    tuples, window = receiver.collect(BatchInfo(0, 0.0, 1.0))
+    assert window.cutoff == pytest.approx(0.9)
+    assert all(t.ts < 0.9 for t in tuples)
+    assert len(tuples) == pytest.approx(900, abs=5)
+
+
+def test_carryover_lands_in_next_batch():
+    ctl = EarlyReleaseController(EarlyReleaseConfig(slack_fraction=0.10))
+    receiver = Receiver(_source(), early_release=ctl, use_cutoff=True)
+    first, _ = receiver.collect(BatchInfo(0, 0.0, 1.0))
+    second, _ = receiver.collect(BatchInfo(1, 1.0, 2.0))
+    # second batch spans [0.9, 1.9): includes the held-back slack tuples
+    assert any(t.ts < 1.0 for t in second)
+    assert len(first) + len(second) == pytest.approx(1900, abs=5)
+
+
+def test_consecutive_batches_cover_stream_without_loss():
+    receiver = Receiver(_source(), use_cutoff=False)
+    total = 0
+    seen_ts = []
+    for k in range(5):
+        tuples, _ = receiver.collect(BatchInfo(k, float(k), float(k + 1)))
+        total += len(tuples)
+        seen_ts.extend(t.ts for t in tuples)
+    assert total == 5000
+    assert seen_ts == sorted(seen_ts)
+
+
+def test_intervals_must_advance():
+    receiver = Receiver(_source(), use_cutoff=False)
+    receiver.collect(BatchInfo(1, 1.0, 2.0))
+    with pytest.raises(ValueError, match="must advance"):
+        receiver.collect(BatchInfo(0, 0.0, 1.0))
+
+
+def test_reset_restarts_stream():
+    receiver = Receiver(_source(), use_cutoff=False)
+    a, _ = receiver.collect(BatchInfo(0, 0.0, 1.0))
+    receiver.reset()
+    b, _ = receiver.collect(BatchInfo(0, 0.0, 1.0))
+    assert [t.key for t in a] == [t.key for t in b]

@@ -1,0 +1,83 @@
+"""Pipeline scheduler: FIFO execution, queueing, completion callbacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.scheduler import PipelineScheduler
+from repro.engine.simulation import EventLoop
+
+
+def test_job_starts_immediately_when_idle():
+    loop = EventLoop()
+    sched = PipelineScheduler(loop)
+    done = []
+    loop.schedule(1.0, lambda: sched.submit(0, 0.4, done.append))
+    loop.run()
+    job = done[0]
+    assert job.ready_at == 1.0
+    assert job.start == 1.0
+    assert job.finish == pytest.approx(1.4)
+    assert job.queue_delay == 0.0
+
+
+def test_jobs_queue_fifo_behind_long_job():
+    loop = EventLoop()
+    sched = PipelineScheduler(loop)
+    done = []
+    loop.schedule(1.0, lambda: sched.submit(0, 2.5, done.append))
+    loop.schedule(2.0, lambda: sched.submit(1, 0.5, done.append))
+    loop.schedule(3.0, lambda: sched.submit(2, 0.5, done.append))
+    loop.run()
+    assert [j.index for j in done] == [0, 1, 2]
+    assert done[1].start == pytest.approx(3.5)
+    assert done[1].queue_delay == pytest.approx(1.5)
+    assert done[2].start == pytest.approx(4.0)
+
+
+def test_queue_depth():
+    loop = EventLoop()
+    sched = PipelineScheduler(loop)
+    depths = []
+    loop.schedule(1.0, lambda: sched.submit(0, 5.0))
+    loop.schedule(2.0, lambda: sched.submit(1, 1.0))
+    loop.schedule(2.0, lambda: depths.append(sched.queue_depth(2.0)))
+    loop.run()
+    assert depths == [1]  # job 1 waiting, job 0 running
+
+
+def test_completion_fires_before_same_time_heartbeat():
+    loop = EventLoop()
+    sched = PipelineScheduler(loop)
+    order = []
+    loop.schedule(1.0, lambda: sched.submit(0, 1.0, lambda j: order.append("finish")))
+    loop.schedule(2.0, lambda: order.append("heartbeat"), priority=0)
+    loop.run()
+    assert order == ["finish", "heartbeat"]
+
+
+def test_zero_duration_job():
+    loop = EventLoop()
+    sched = PipelineScheduler(loop)
+    done = []
+    loop.schedule(1.0, lambda: sched.submit(0, 0.0, done.append))
+    loop.run()
+    assert done[0].finish == 1.0
+
+
+def test_negative_duration_rejected():
+    loop = EventLoop()
+    sched = PipelineScheduler(loop)
+    loop.schedule(0.0, lambda: sched.submit(0, 1.0))
+    loop.run()
+    with pytest.raises(ValueError):
+        sched.submit(1, -0.5)
+
+
+def test_jobs_listing_and_busy_until():
+    loop = EventLoop()
+    sched = PipelineScheduler(loop)
+    loop.schedule(0.0, lambda: sched.submit(0, 2.0))
+    loop.run()
+    assert len(sched.jobs) == 1
+    assert sched.busy_until == pytest.approx(2.0)

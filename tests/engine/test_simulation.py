@@ -1,0 +1,116 @@
+"""Discrete-event kernel: ordering, priorities, cancellation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.simulation import EventLoop, SimulationError
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(2.0, lambda: fired.append("b"))
+    loop.schedule(1.0, lambda: fired.append("a"))
+    loop.schedule(3.0, lambda: fired.append("c"))
+    loop.run()
+    assert fired == ["a", "b", "c"]
+    assert loop.now == 3.0
+
+
+def test_same_time_fires_in_scheduling_order():
+    loop = EventLoop()
+    fired = []
+    for label in "abc":
+        loop.schedule(1.0, lambda l=label: fired.append(l))
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_priority_breaks_time_ties():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: fired.append("late"), priority=1)
+    loop.schedule(1.0, lambda: fired.append("early"), priority=-1)
+    loop.run()
+    assert fired == ["early", "late"]
+
+
+def test_schedule_in_past_rejected():
+    loop = EventLoop()
+    loop.schedule(5.0, lambda: None)
+    loop.run()
+    with pytest.raises(SimulationError):
+        loop.schedule(1.0, lambda: None)
+
+
+def test_schedule_in_relative_delay():
+    loop = EventLoop()
+    times = []
+    loop.schedule(1.0, lambda: loop.schedule_in(0.5, lambda: times.append(loop.now)))
+    loop.run()
+    assert times == [1.5]
+
+
+def test_negative_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.schedule_in(-0.1, lambda: None)
+
+
+def test_cancelled_events_do_not_fire():
+    loop = EventLoop()
+    fired = []
+    event = loop.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    loop.schedule(2.0, lambda: fired.append("y"))
+    loop.run()
+    assert fired == ["y"]
+
+
+def test_run_until_parks_clock():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: fired.append(1))
+    loop.schedule(5.0, lambda: fired.append(5))
+    loop.run(until=2.0)
+    assert fired == [1]
+    assert loop.now == 2.0
+    assert loop.pending == 1
+    loop.run()
+    assert fired == [1, 5]
+
+
+def test_events_scheduled_during_run_are_processed():
+    loop = EventLoop()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            loop.schedule_in(1.0, lambda: chain(n + 1))
+
+    loop.schedule(0.0, lambda: chain(0))
+    loop.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert loop.now == 5.0
+
+
+def test_max_events_guard():
+    loop = EventLoop()
+
+    def forever():
+        loop.schedule_in(1.0, forever)
+
+    loop.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        loop.run(max_events=100)
+
+
+def test_step_and_counters():
+    loop = EventLoop()
+    loop.schedule(1.0, lambda: None)
+    assert loop.pending == 1
+    assert loop.step() is True
+    assert loop.fired == 1
+    assert loop.step() is False

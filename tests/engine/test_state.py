@@ -1,0 +1,94 @@
+"""Batch state store: immutability, replication, eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tuples import StreamTuple
+from repro.engine.state import StateStore
+
+
+def _tuples(n=3):
+    return [StreamTuple(ts=i * 0.1, key=f"k{i}", value=i) for i in range(n)]
+
+
+def test_put_and_get():
+    store = StateStore()
+    store.put(0, {"a": 1})
+    state = store.get(0)
+    assert state.index == 0
+    assert dict(state.output) == {"a": 1}
+    assert not state.recoverable
+    assert 0 in store
+    assert len(store) == 1
+
+
+def test_output_is_immutable():
+    store = StateStore()
+    store.put(0, {"a": 1})
+    with pytest.raises(TypeError):
+        store.get(0).output["a"] = 2
+
+
+def test_put_copies_the_mapping():
+    store = StateStore()
+    source = {"a": 1}
+    store.put(0, source)
+    source["a"] = 99
+    assert store.get(0).output["a"] == 1
+
+
+def test_duplicate_put_rejected():
+    store = StateStore()
+    store.put(0, {})
+    with pytest.raises(ValueError, match="already has preserved state"):
+        store.put(0, {})
+
+
+def test_get_missing_raises_keyerror():
+    with pytest.raises(KeyError):
+        StateStore().get(5)
+
+
+def test_replication_required_when_enabled():
+    store = StateStore(replicate_inputs=True)
+    with pytest.raises(ValueError, match="no input tuples"):
+        store.put(0, {})
+    store.put(1, {"a": 1}, _tuples())
+    assert store.get(1).recoverable
+    assert len(store.get(1).replicated_input) == 3
+
+
+def test_drop_output_keeps_replicated_input():
+    store = StateStore(replicate_inputs=True)
+    store.put(0, {"a": 1}, _tuples())
+    store.drop_output(0)
+    state = store.get(0)
+    assert dict(state.output) == {}
+    assert state.recoverable
+
+
+def test_restore_reinstates_output():
+    store = StateStore(replicate_inputs=True)
+    store.put(0, {"a": 1}, _tuples())
+    store.drop_output(0)
+    store.restore(0, {"a": 1})
+    assert dict(store.get(0).output) == {"a": 1}
+
+
+def test_evict_through_releases_expired_states():
+    store = StateStore()
+    for i in range(5):
+        store.put(i, {})
+    assert store.evict_through(2) == 3
+    assert len(store) == 2
+    assert 3 in store and 4 in store
+
+
+def test_put_after_eviction_point_rejected():
+    store = StateStore()
+    store.put(0, {})
+    store.evict_through(1)
+    with pytest.raises(ValueError, match="already evicted"):
+        store.put(1, {})
+    store.put(2, {})  # beyond the eviction point is fine

@@ -1,0 +1,109 @@
+"""BatchRecord / RunStats derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.stats import BatchRecord, RunStats, percentile
+
+
+def _record(index, *, interval=1.0, queue=0.0, processing=0.5, tuples=100,
+            reduce_durations=(0.1, 0.2), partition_elapsed=0.01):
+    heartbeat = (index + 1) * interval
+    start = heartbeat + queue
+    return BatchRecord(
+        index=index,
+        t_start=index * interval,
+        heartbeat=heartbeat,
+        ready_at=heartbeat,
+        exec_start=start,
+        exec_finish=start + processing,
+        processing_time=processing,
+        tuple_count=tuples,
+        key_count=10,
+        map_tasks=4,
+        reduce_tasks=len(reduce_durations),
+        map_durations=(0.3, 0.4),
+        reduce_durations=reduce_durations,
+        bucket_weights=(50, 50),
+        partition_elapsed=partition_elapsed,
+    )
+
+
+def test_percentile_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(values, 50) == 3.0
+    assert percentile(values, 95) == 5.0
+    assert percentile(values, 0) == 1.0
+    assert percentile([], 50) == 0.0
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+
+
+def test_record_derived_quantities():
+    r = _record(2, queue=0.25, processing=0.5)
+    assert r.batch_interval == 1.0
+    assert r.queue_delay == pytest.approx(0.25)
+    # latency: interval (1.0) + queue (0.25) + processing (0.5)
+    assert r.latency == pytest.approx(1.75)
+    assert r.load == pytest.approx(0.5)
+    assert r.max_reduce_time == pytest.approx(0.2)
+    assert r.mean_reduce_time == pytest.approx(0.15)
+
+
+def test_run_stats_throughput():
+    stats = RunStats(batch_interval=1.0)
+    for i in range(4):
+        stats.add(_record(i, tuples=200))
+    # 800 tuples over 4 seconds of batching
+    assert stats.throughput() == pytest.approx(200.0)
+    assert stats.total_tuples == 800
+
+
+def test_run_stats_latency_aggregates():
+    stats = RunStats(batch_interval=1.0)
+    stats.add(_record(0, processing=0.2))
+    stats.add(_record(1, processing=0.6))
+    assert stats.mean_latency() == pytest.approx(1.4)
+    assert stats.p95_latency() == pytest.approx(1.6)
+
+
+def test_run_stats_stability():
+    good = RunStats(batch_interval=1.0)
+    for i in range(5):
+        good.add(_record(i, processing=0.8))
+    assert good.is_stable()
+
+    bad = RunStats(batch_interval=1.0)
+    for i in range(5):
+        bad.add(_record(i, processing=1.4, queue=1.5 * i))
+    assert not bad.is_stable()
+
+
+def test_run_stats_mean_load_with_skip():
+    stats = RunStats(batch_interval=1.0)
+    stats.add(_record(0, processing=10.0))  # warm-up outlier
+    for i in range(1, 5):
+        stats.add(_record(i, processing=0.5))
+    assert stats.mean_load(skip=1) == pytest.approx(0.5)
+
+
+def test_series_extracts():
+    stats = RunStats(batch_interval=1.0)
+    stats.add(_record(0))
+    stats.add(_record(1, reduce_durations=(0.3, 0.5)))
+    reduce_series = stats.reduce_time_series()
+    assert reduce_series[1] == (1, pytest.approx(0.4), pytest.approx(0.5))
+    assert stats.task_count_series() == [(0, 4, 2), (1, 4, 2)]
+    assert stats.partition_overhead_fractions() == [
+        pytest.approx(0.01),
+        pytest.approx(0.01),
+    ]
+
+
+def test_empty_run_stats():
+    stats = RunStats(batch_interval=1.0)
+    assert stats.throughput() == 0.0
+    assert stats.mean_latency() == 0.0
+    assert stats.is_stable()
+    assert stats.max_queue_delay() == 0.0

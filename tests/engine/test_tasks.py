@@ -1,0 +1,173 @@
+"""Task execution: cost model, map filters, shuffle, key locality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import BatchInfo, DataBlock, PartitionedBatch
+from repro.core.tuples import StreamTuple
+from repro.engine.tasks import TaskCostModel, execute_batch_tasks, execute_map_task
+from repro.partitioners import HashPartitioner, PromptPartitioner, ShufflePartitioner
+from repro.queries.base import Query, SumAggregator
+
+from ..conftest import make_tuples
+
+INFO = BatchInfo(0, 0.0, 1.0)
+
+
+def _sum_query(**kw):
+    return Query(name="sum", aggregator=SumAggregator(), **kw)
+
+
+def _value_tuples(pairs):
+    return [StreamTuple(ts=i * 0.01, key=k, value=v) for i, (k, v) in enumerate(pairs)]
+
+
+def _partition(tuples, p=2, partitioner=None):
+    part = partitioner or ShufflePartitioner()
+    return part.partition(tuples, p, INFO), part
+
+
+# ----------------------------------------------------------------------
+# cost model
+# ----------------------------------------------------------------------
+def test_cost_model_monotone_in_size():
+    cm = TaskCostModel()
+    assert cm.map_time(100, 10) < cm.map_time(200, 10)
+    assert cm.map_time(100, 10) < cm.map_time(100, 20)
+    assert cm.reduce_time(100, 10) < cm.reduce_time(200, 10)
+    assert cm.reduce_time(100, 10) < cm.reduce_time(100, 20)
+
+
+def test_cost_model_fixed_floor():
+    cm = TaskCostModel()
+    assert cm.map_time(0, 0) == pytest.approx(cm.map_fixed)
+    assert cm.reduce_time(0, 0) == pytest.approx(cm.reduce_fixed)
+
+
+def test_cost_model_rejects_negative_coefficients():
+    with pytest.raises(ValueError):
+        TaskCostModel(map_per_tuple=-1e-6)
+
+
+# ----------------------------------------------------------------------
+# map task
+# ----------------------------------------------------------------------
+def test_map_task_aggregates_per_key():
+    block = DataBlock(0)
+    block.add_fragment("a", _value_tuples([("a", 1), ("a", 2)]))
+    block.add_fragment("b", _value_tuples([("b", 5)]))
+    clusters, partials, duration = execute_map_task(
+        block, _sum_query(), TaskCostModel()
+    )
+    assert partials == {"a": 3, "b": 5}
+    assert {c.key: c.size for c in clusters} == {"a": 1, "b": 1}  # combined
+    assert duration > 0
+
+
+def test_map_task_without_combine_ships_value_lists():
+    block = DataBlock(0)
+    block.add_fragment("a", _value_tuples([("a", 1), ("a", 2), ("a", 3)]))
+    query = _sum_query(map_side_combine=False)
+    clusters, partials, _ = execute_map_task(block, query, TaskCostModel())
+    assert {c.key: c.size for c in clusters} == {"a": 3}
+    assert partials == {"a": 6}
+
+
+def test_map_task_filter_drops_tuples_but_charges_scan():
+    block = DataBlock(0)
+    block.add_fragment("a", _value_tuples([("a", 1), ("a", -1)]))
+    query = _sum_query(map_fn=lambda k, v: v if v > 0 else None)
+    cm = TaskCostModel()
+    clusters, partials, duration = execute_map_task(block, query, cm)
+    assert partials == {"a": 1}
+    assert duration == pytest.approx(cm.map_time(2, 1))  # both tuples scanned
+
+
+def test_map_task_fully_filtered_key_emits_nothing():
+    block = DataBlock(0)
+    block.add_fragment("a", _value_tuples([("a", -1)]))
+    query = _sum_query(map_fn=lambda k, v: None)
+    clusters, partials, _ = execute_map_task(block, query, TaskCostModel())
+    assert clusters == []
+    assert partials == {}
+
+
+# ----------------------------------------------------------------------
+# full batch execution
+# ----------------------------------------------------------------------
+def test_batch_output_matches_reference():
+    tuples = _value_tuples([("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5)])
+    query = _sum_query()
+    batch, part = _partition(tuples, p=3)
+    execution = execute_batch_tasks(batch, query, part, 2, TaskCostModel())
+    assert execution.batch_output() == query.reference_output(tuples)
+
+
+def test_split_key_partials_merge_at_one_reducer():
+    tuples = [StreamTuple(ts=i * 0.01, key="hot", value=1) for i in range(10)]
+    batch, part = _partition(tuples, p=4)  # shuffle scatters "hot"
+    assert "hot" in batch.split_keys
+    execution = execute_batch_tasks(batch, _sum_query(), part, 4, TaskCostModel())
+    owners = [r for r in execution.reduce_results if "hot" in r.results]
+    assert len(owners) == 1
+    assert owners[0].results["hot"] == 10
+    assert owners[0].fragment_count == 4  # one partial per map task
+
+
+def test_prompt_allocator_used_in_processing_phase():
+    tuples = make_tuples({f"k{i}": 5 for i in range(20)}, shuffle_seed=3)
+    part = PromptPartitioner()
+    batch = part.partition(tuples, 4, INFO)
+    execution = execute_batch_tasks(batch, _sum_query(map_fn=lambda k, v: 1), part, 4, TaskCostModel())
+    # every reduce task owns some keys (WorstFit retirement spreads them)
+    assert all(r.key_count > 0 for r in execution.reduce_results)
+    assert execution.batch_output().keys() == {f"k{i}" for i in range(20)}
+
+
+def test_fragment_counts_penalize_scatter():
+    tuples = make_tuples({f"k{i}": 8 for i in range(16)}, shuffle_seed=4)
+    cm = TaskCostModel()
+    query = _sum_query(map_fn=lambda k, v: 1)
+    sh_batch, sh = _partition(tuples, p=8, partitioner=ShufflePartitioner())
+    ha_batch, ha = _partition(tuples, p=8, partitioner=HashPartitioner())
+    sh_exec = execute_batch_tasks(sh_batch, query, sh, 4, cm)
+    ha_exec = execute_batch_tasks(ha_batch, query, ha, 4, cm)
+    sh_frags = sum(r.fragment_count for r in sh_exec.reduce_results)
+    ha_frags = sum(r.fragment_count for r in ha_exec.reduce_results)
+    assert sh_frags > ha_frags  # shuffle scatters keys over blocks
+
+
+def test_key_locality_violation_detected():
+    """A broken allocator that routes one key to two buckets is caught."""
+
+    class BrokenPartitioner(ShufflePartitioner):
+        def allocate_reduce(self, clusters, split_keys, num_buckets):
+            out = super().allocate_reduce(clusters, split_keys, num_buckets)
+            # perturb: send this task's first cluster to a rotating bucket
+            if out.assignment:
+                key = next(iter(out.assignment))
+                out.assignment[key] = (out.assignment[key] + self._bump) % num_buckets
+                self._bump += 1
+            return out
+
+        _bump = 0
+
+    part = BrokenPartitioner()
+    tuples = [StreamTuple(ts=i * 0.01, key="hot", value=1) for i in range(8)]
+    batch = part.partition(tuples, 4, INFO)
+    with pytest.raises(AssertionError, match="key locality violated"):
+        execute_batch_tasks(batch, _sum_query(), part, 4, TaskCostModel())
+
+
+def test_rejects_zero_reducers():
+    batch, part = _partition(_value_tuples([("a", 1)]))
+    with pytest.raises(ValueError):
+        execute_batch_tasks(batch, _sum_query(), part, 0, TaskCostModel())
+
+
+def test_empty_batch_executes():
+    batch, part = _partition([], p=2)
+    execution = execute_batch_tasks(batch, _sum_query(), part, 2, TaskCostModel())
+    assert execution.batch_output() == {}
+    assert len(execution.map_durations) == 2  # fixed cost per (empty) task

@@ -1,0 +1,99 @@
+"""Windowed aggregation with inverse-Reduce retraction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.windows import WindowedAggregator
+from repro.queries.base import CountAggregator, SumAggregator, SumCountAggregator
+
+
+def test_window_of_one_batch():
+    win = WindowedAggregator(SumAggregator(), 1)
+    assert win.add_batch({"a": 3}) == {"a": 3}
+    assert win.add_batch({"b": 2}) == {"b": 2}  # previous batch retracted
+    assert len(win) == 1
+
+
+def test_sliding_merge_and_retract():
+    win = WindowedAggregator(SumAggregator(), 2)
+    assert win.add_batch({"a": 1}) == {"a": 1}
+    assert win.add_batch({"a": 2, "b": 5}) == {"a": 3, "b": 5}
+    assert win.add_batch({"a": 4}) == {"a": 6, "b": 5}
+    assert win.add_batch({}) == {"a": 4}
+
+
+def test_zero_accumulators_removed_from_answer():
+    win = WindowedAggregator(CountAggregator(), 2)
+    win.add_batch({"a": 1})
+    win.add_batch({"b": 1})
+    answer = win.add_batch({"b": 1})  # "a" retracted to zero -> dropped
+    assert "a" not in answer
+    assert answer == {"b": 2}
+
+
+def test_cancelled_accumulators_reappear_after_partial_expiry():
+    """+3 and -3 cancel to sparse absence; expiring the +3 leaves -3."""
+    win = WindowedAggregator(SumAggregator(), 2)
+    win.add_batch({"a": 3})
+    assert win.add_batch({"a": -3}) == {}
+    assert win.add_batch({}) == {"a": -3}
+
+
+def test_finalized_answer_applies_finalize():
+    win = WindowedAggregator(SumCountAggregator(), 4)
+    win.add_batch({"job": (10.0, 2)})
+    win.add_batch({"job": (20.0, 3)})
+    assert win.answer()["job"] == (30.0, 5)
+    assert win.finalized_answer()["job"] == pytest.approx(6.0)
+
+
+def test_rejects_bad_window_size():
+    with pytest.raises(ValueError):
+        WindowedAggregator(SumAggregator(), 0)
+
+
+def test_window_matches_naive_recomputation():
+    win = WindowedAggregator(SumAggregator(), 3)
+    batches = [
+        {"a": 1, "b": 2},
+        {"a": 5},
+        {"c": 7},
+        {"a": 2, "c": 1},
+        {"b": 9},
+        {},
+        {"a": 1},
+    ]
+    for i, batch in enumerate(batches):
+        got = win.add_batch(batch)
+        window = batches[max(0, i - 2) : i + 1]
+        naive: dict = {}
+        for b in window:
+            for k, v in b.items():
+                naive[k] = naive.get(k, 0) + v
+        naive = {k: v for k, v in naive.items() if v != 0}
+        assert got == naive, f"mismatch at batch {i}"
+
+
+@given(
+    batches=st.lists(
+        st.dictionaries(st.integers(0, 8), st.integers(-5, 5), max_size=6),
+        min_size=1,
+        max_size=25,
+    ),
+    window=st.integers(1, 5),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_incremental_equals_naive(batches, window):
+    """Inverse-Reduce maintenance == recomputing the window from scratch."""
+    win = WindowedAggregator(SumAggregator(), window)
+    for i, batch in enumerate(batches):
+        got = win.add_batch(batch)
+        naive: dict = {}
+        for b in batches[max(0, i - window + 1) : i + 1]:
+            for k, v in b.items():
+                naive[k] = naive.get(k, 0) + v
+        naive = {k: v for k, v in naive.items() if v != 0}
+        assert got == naive

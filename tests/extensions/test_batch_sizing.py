@@ -1,0 +1,159 @@
+"""Adaptive batch sizing controller and its engine integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cluster import ClusterConfig
+from repro.engine.engine import EngineConfig, MicroBatchEngine
+from repro.engine.tasks import TaskCostModel
+from repro.extensions.batch_sizing import BatchSizeController, BatchSizingConfig
+from repro.partitioners import make_partitioner
+from repro.queries import wordcount_query
+from repro.workloads.arrival import ConstantRate
+from repro.workloads.synd import synd_source
+
+
+# ----------------------------------------------------------------------
+# controller unit behaviour
+# ----------------------------------------------------------------------
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BatchSizingConfig(target_ratio=1.0)
+    with pytest.raises(ValueError):
+        BatchSizingConfig(min_interval=0.0)
+    with pytest.raises(ValueError):
+        BatchSizingConfig(min_interval=5.0, max_interval=1.0)
+    with pytest.raises(ValueError):
+        BatchSizingConfig(window=1)
+    with pytest.raises(ValueError):
+        BatchSizingConfig(max_step=0.0)
+
+
+def test_seed_and_clamping():
+    ctl = BatchSizeController(BatchSizingConfig(min_interval=0.5, max_interval=4.0))
+    ctl.seed(100.0)
+    assert ctl.current_interval == 4.0
+    ctl.seed(0.01)
+    assert ctl.current_interval == 0.5
+
+
+def test_observe_validation():
+    ctl = BatchSizeController()
+    with pytest.raises(ValueError):
+        ctl.observe(0.0, 0.5)
+    with pytest.raises(ValueError):
+        ctl.observe(1.0, -0.1)
+
+
+def test_overloaded_system_grows_interval():
+    cfg = BatchSizingConfig(target_ratio=0.8, min_interval=0.25, max_interval=16.0)
+    ctl = BatchSizeController(cfg)
+    ctl.seed(1.0)
+    # processing keeps exceeding the interval: interval must grow
+    interval = 1.0
+    for _ in range(10):
+        ctl.observe(interval, processing_time=interval * 1.2)
+        interval = ctl.next_interval()
+    assert interval > 1.0
+
+
+def test_underloaded_system_shrinks_interval():
+    ctl = BatchSizeController(BatchSizingConfig(target_ratio=0.8))
+    ctl.seed(4.0)
+    interval = 4.0
+    for _ in range(10):
+        ctl.observe(interval, processing_time=0.2 * interval)
+        interval = ctl.next_interval()
+    assert interval < 4.0
+
+
+def test_fixed_point_convergence_on_linear_plant():
+    """Plant: P(T) = 0.4*T + 0.3. Fixed point of P = 0.8T: T = 0.75."""
+    ctl = BatchSizeController(BatchSizingConfig(target_ratio=0.8, max_step=1.0))
+    ctl.seed(2.0)
+    interval = 2.0
+    for _ in range(25):
+        ctl.observe(interval, processing_time=0.4 * interval + 0.3)
+        interval = ctl.next_interval()
+    assert interval == pytest.approx(0.75, rel=0.05)
+    # at the fixed point the load sits at the target ratio
+    assert (0.4 * interval + 0.3) / interval == pytest.approx(0.8, rel=0.05)
+
+
+def test_unstable_slope_pushes_toward_max():
+    """P(T) = 1.1*T: no interval satisfies the target; grow to the cap."""
+    cfg = BatchSizingConfig(target_ratio=0.8, max_interval=8.0, max_step=1.0)
+    ctl = BatchSizeController(cfg)
+    ctl.seed(1.0)
+    interval = 1.0
+    for _ in range(20):
+        ctl.observe(interval, processing_time=1.1 * interval)
+        interval = ctl.next_interval()
+    assert interval == pytest.approx(8.0)
+
+
+def test_slew_rate_limit():
+    ctl = BatchSizeController(BatchSizingConfig(max_step=0.2, max_interval=100.0))
+    ctl.seed(1.0)
+    ctl.observe(1.0, processing_time=50.0)  # demands a huge jump
+    assert ctl.next_interval() <= 1.2 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# engine integration
+# ----------------------------------------------------------------------
+def _engine(batch_sizing=None, rate=3_000.0):
+    # Heavy *fixed* per-stage cost: processing(T) ~ 1.0 + 0.28*T, so a
+    # 1 s interval is overloaded (load 1.28) but any interval above
+    # ~1.9 s is stable — the regime interval resizing is built for.
+    config = EngineConfig(
+        batch_interval=1.0,
+        num_blocks=4,
+        num_reducers=4,
+        cluster=ClusterConfig(num_nodes=2, cores_per_node=4),
+        cost_model=TaskCostModel(
+            map_fixed=0.5, reduce_fixed=0.5, map_per_tuple=3.5e-4
+        ),
+        batch_sizing=batch_sizing,
+        track_outputs=False,
+    )
+    engine = MicroBatchEngine(make_partitioner("hash"), wordcount_query(), config)
+    source = synd_source(0.8, num_keys=500, arrival=ConstantRate(rate), seed=3)
+    return engine.run(source, 14)
+
+
+def test_fixed_interval_overload_queues_batches():
+    result = _engine(batch_sizing=None)
+    assert not result.stable
+    assert result.stats.max_queue_delay() > 1.0
+
+
+def test_batch_sizing_restores_stability_by_growing_latency():
+    sized = _engine(
+        batch_sizing=BatchSizingConfig(
+            target_ratio=0.8, min_interval=0.5, max_interval=8.0
+        )
+    )
+    records = sized.stats.records
+    # intervals grew beyond the seed
+    assert records[-1].batch_interval > 1.0
+    # the tail of the run is stable: processing fits the interval
+    tail = records[-4:]
+    assert all(r.load <= 1.0 for r in tail)
+    # ... but end-to-end latency grew with the interval (the trade-off)
+    assert tail[-1].latency > 1.5
+
+
+def test_batch_sizing_records_variable_intervals():
+    sized = _engine(
+        batch_sizing=BatchSizingConfig(
+            target_ratio=0.8, min_interval=0.5, max_interval=8.0
+        )
+    )
+    intervals = {round(r.batch_interval, 3) for r in sized.stats.records}
+    assert len(intervals) > 1  # the interval actually moved
+    # timeline is contiguous: each batch starts at the previous heartbeat
+    records = sized.stats.records
+    for prev, cur in zip(records, records[1:]):
+        assert cur.t_start == pytest.approx(prev.heartbeat)

@@ -1,0 +1,227 @@
+"""Per-technique semantics of the baseline partitioners (Section 2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import BatchInfo
+from repro.core.hashing import candidate_buckets, hash_to_bucket
+from repro.core.metrics import evaluate_partition
+from repro.core.tuples import StreamTuple
+from repro.partitioners import (
+    CAMPartitioner,
+    HashPartitioner,
+    KeySplitPartitioner,
+    PK2Partitioner,
+    PK5Partitioner,
+    ShufflePartitioner,
+    TimeBasedPartitioner,
+)
+
+from ..conftest import make_tuples, zipfish_freqs
+
+INFO = BatchInfo(0, 0.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# time-based
+# ----------------------------------------------------------------------
+def test_time_based_assigns_by_block_interval():
+    part = TimeBasedPartitioner()
+    tuples = [StreamTuple(ts=t, key="k") for t in (0.05, 0.30, 0.55, 0.80)]
+    batch = part.partition(tuples, 4, INFO)
+    for i, block in enumerate(batch.blocks):
+        assert block.tuple_count() == 1, f"block {i}"
+
+
+def test_time_based_clamps_out_of_range_timestamps():
+    part = TimeBasedPartitioner()
+    tuples = [StreamTuple(ts=-0.5, key="a"), StreamTuple(ts=1.5, key="b")]
+    batch = part.partition(tuples, 4, INFO)
+    assert batch.blocks[0].tuple_count() == 1
+    assert batch.blocks[3].tuple_count() == 1
+
+
+def test_time_based_tracks_rate_bursts():
+    """A burst inside one block interval lands in one block — the flaw."""
+    part = TimeBasedPartitioner()
+    tuples = [StreamTuple(ts=0.9 + i * 0.0001, key=f"k{i}") for i in range(100)]
+    tuples += [StreamTuple(ts=0.1, key="lone")]
+    batch = part.partition(tuples, 4, INFO)
+    sizes = sorted(b.size for b in batch.blocks)
+    assert sizes == [0, 0, 1, 100]
+
+
+# ----------------------------------------------------------------------
+# shuffle
+# ----------------------------------------------------------------------
+def test_shuffle_round_robin_equalizes_sizes():
+    part = ShufflePartitioner()
+    tuples = make_tuples(zipfish_freqs(20, 500), shuffle_seed=3)
+    batch = part.partition(tuples, 4, INFO)
+    sizes = [b.size for b in batch.blocks]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_shuffle_scatters_keys():
+    part = ShufflePartitioner()
+    tuples = [StreamTuple(ts=i * 0.01, key="hot") for i in range(8)]
+    batch = part.partition(tuples, 4, INFO)
+    assert len(batch.split_keys["hot"]) == 4
+
+
+def test_shuffle_assignment_follows_arrival_order():
+    part = ShufflePartitioner()
+    tuples = [StreamTuple(ts=i * 0.01, key=f"k{i}") for i in range(6)]
+    batch = part.partition(tuples, 3, INFO)
+    assert "k0" in batch.blocks[0]
+    assert "k1" in batch.blocks[1]
+    assert "k2" in batch.blocks[2]
+    assert "k3" in batch.blocks[0]
+
+
+# ----------------------------------------------------------------------
+# hashing
+# ----------------------------------------------------------------------
+def test_hash_partitioner_guarantees_key_locality():
+    part = HashPartitioner()
+    tuples = make_tuples(zipfish_freqs(30, 400), shuffle_seed=5)
+    batch = part.partition(tuples, 4, INFO)
+    assert batch.split_keys == {}
+    assert evaluate_partition(batch).ksr == 1.0
+
+
+def test_hash_partitioner_matches_hash_function():
+    part = HashPartitioner(seed=2)
+    tuples = [StreamTuple(ts=0.0, key=f"k{i}") for i in range(20)]
+    batch = part.partition(tuples, 8, INFO)
+    for t in tuples:
+        expected = hash_to_bucket(t.key, 8, seed=2)
+        assert t.key in batch.blocks[expected]
+
+
+def test_hash_partitioner_skews_with_hot_keys():
+    part = HashPartitioner()
+    tuples = [StreamTuple(ts=i * 1e-4, key="hot") for i in range(100)]
+    tuples += [StreamTuple(ts=0.5 + i * 1e-4, key=f"k{i}") for i in range(20)]
+    batch = part.partition(tuples, 4, INFO)
+    assert evaluate_partition(batch).bsi > 50
+
+
+# ----------------------------------------------------------------------
+# key splitting (PK2 / PK5)
+# ----------------------------------------------------------------------
+def test_pk_candidates_limit_key_spread():
+    part = PK2Partitioner()
+    tuples = [StreamTuple(ts=i * 1e-4, key="hot") for i in range(200)]
+    batch = part.partition(tuples, 8, INFO)
+    spread = batch.split_keys.get("hot", ("x",))
+    assert len(spread) <= 2
+    assert set(spread) <= set(candidate_buckets("hot", 8, 2))
+
+
+def test_pk5_spreads_wider_than_pk2():
+    tuples = [StreamTuple(ts=i * 1e-4, key="hot") for i in range(500)]
+    b2 = PK2Partitioner().partition(tuples, 16, INFO)
+    b5 = PK5Partitioner().partition(tuples, 16, INFO)
+    spread2 = len(b2.split_keys.get("hot", (0,)))
+    spread5 = len(b5.split_keys.get("hot", (0,)))
+    assert spread5 >= spread2
+
+
+def test_pk_balances_better_than_hash_under_skew():
+    tuples = make_tuples(zipfish_freqs(40, 2000), shuffle_seed=9)
+    hash_q = evaluate_partition(HashPartitioner().partition(tuples, 8, INFO))
+    pk5_q = evaluate_partition(PK5Partitioner().partition(tuples, 8, INFO))
+    assert pk5_q.bsi < hash_q.bsi
+
+
+def test_pk_picks_least_loaded_candidate():
+    part = KeySplitPartitioner(d=2)
+    cands = candidate_buckets("hot", 4, 2)
+    # preload one candidate with another key's tuples
+    other_key = next(
+        f"fill{i}"
+        for i in range(1000)
+        if hash_to_bucket(f"fill{i}", 4, seed=1) == cands[0]
+        and candidate_buckets(f"fill{i}", 4, 2)[0] == cands[0]
+    )
+    tuples = [StreamTuple(ts=0.0, key=other_key) for _ in range(10)]
+    tuples.append(StreamTuple(ts=0.5, key="hot"))
+    batch = part.partition(tuples, 4, INFO)
+    if cands[0] != cands[1]:
+        assert "hot" in batch.blocks[cands[1]]
+
+
+def test_key_split_rejects_bad_d():
+    with pytest.raises(ValueError):
+        KeySplitPartitioner(d=0)
+
+
+def test_pk_reset_clears_candidate_cache():
+    part = PK2Partitioner()
+    part.partition([StreamTuple(ts=0.0, key="a")], 4, INFO)
+    assert part._candidate_cache
+    part.reset()
+    assert not part._candidate_cache
+
+
+# ----------------------------------------------------------------------
+# cAM
+# ----------------------------------------------------------------------
+def test_cam_prefers_blocks_already_holding_key():
+    part = CAMPartitioner(d=4, gamma=5.0)
+    # background volume so the normalized size term is small relative to
+    # the cardinality penalty, then a moderate key trickles in
+    tuples = make_tuples({f"bg{i}": 8 for i in range(100)}, shuffle_seed=6)
+    tuples += [StreamTuple(ts=0.9 + i * 1e-3, key="k") for i in range(10)]
+    batch = part.partition(tuples, 8, INFO)
+    # strong cardinality penalty keeps the key together
+    assert "k" not in batch.split_keys
+
+
+def test_cam_zero_gamma_behaves_like_key_splitting():
+    tuples = make_tuples(zipfish_freqs(30, 1000), shuffle_seed=4)
+    cam = CAMPartitioner(d=5, gamma=0.0).partition(tuples, 8, INFO)
+    pk5 = PK5Partitioner().partition(tuples, 8, INFO)
+    # same candidate machinery, size-only objective: comparable balance
+    assert abs(evaluate_partition(cam).bsi - evaluate_partition(pk5).bsi) <= 30
+
+
+def test_cam_balances_cardinality_better_than_pk():
+    tuples = make_tuples(zipfish_freqs(200, 3000), shuffle_seed=8)
+    cam_q = evaluate_partition(CAMPartitioner(d=4).partition(tuples, 8, INFO))
+    pk5_q = evaluate_partition(PK5Partitioner().partition(tuples, 8, INFO))
+    assert cam_q.ksr <= pk5_q.ksr
+
+
+def test_cam_rejects_bad_params():
+    with pytest.raises(ValueError):
+        CAMPartitioner(d=0)
+    with pytest.raises(ValueError):
+        CAMPartitioner(gamma=-1.0)
+
+
+# ----------------------------------------------------------------------
+# shared streaming-partitioner behaviour
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "factory",
+    [TimeBasedPartitioner, ShufflePartitioner, HashPartitioner,
+     PK2Partitioner, PK5Partitioner, CAMPartitioner],
+)
+def test_streaming_partitioners_place_every_tuple(factory):
+    part = factory()
+    tuples = make_tuples(zipfish_freqs(25, 300), shuffle_seed=2)
+    batch = part.partition(tuples, 5, INFO)
+    batch.validate(expected_tuples=len(tuples))
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [TimeBasedPartitioner, ShufflePartitioner, HashPartitioner,
+     PK2Partitioner, PK5Partitioner, CAMPartitioner],
+)
+def test_streaming_partitioners_reject_zero_blocks(factory):
+    with pytest.raises(ValueError):
+        factory().partition([StreamTuple(ts=0.0, key="a")], 0, INFO)

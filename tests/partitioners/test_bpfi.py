@@ -1,0 +1,140 @@
+"""Reference B-BPFI solvers: FFD, FragMin, bounds, exact search."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitioners.bpfi import (
+    assignment_cardinalities,
+    assignment_fragments,
+    assignment_sizes,
+    exact_min_fragments,
+    first_fit_decreasing,
+    fragment_lower_bound,
+    fragmentation_minimization,
+)
+
+FIG5 = [("K1", 150), ("K2", 80), ("K3", 50), ("K4", 40),
+        ("K5", 25), ("K6", 20), ("K7", 12), ("K8", 8)]
+
+
+def _check_feasible(items, assignment, num_bins, capacity):
+    assert len(assignment) == num_bins
+    placed = {}
+    for b in assignment:
+        for key, size in b.items():
+            placed[key] = placed.get(key, 0) + size
+        assert sum(b.values()) <= capacity
+    assert placed == dict(items)
+
+
+@pytest.mark.parametrize("solver", [first_fit_decreasing, fragmentation_minimization])
+def test_solvers_produce_feasible_assignments(solver):
+    assignment = solver(FIG5, 4, 97)
+    _check_feasible(FIG5, assignment, 4, 97)
+
+
+@pytest.mark.parametrize("solver", [first_fit_decreasing, fragmentation_minimization])
+def test_solvers_reject_infeasible_instance(solver):
+    with pytest.raises(ValueError, match="infeasible"):
+        solver([("a", 100)], 2, 10)
+
+
+@pytest.mark.parametrize("solver", [first_fit_decreasing, fragmentation_minimization])
+def test_solvers_validate_params(solver):
+    with pytest.raises(ValueError):
+        solver([("a", 1)], 0, 10)
+    with pytest.raises(ValueError):
+        solver([("a", 1)], 2, 0)
+    with pytest.raises(ValueError):
+        solver([("a", 0)], 2, 10)
+
+
+def test_ffd_fills_bins_nearly_completely():
+    assignment = first_fit_decreasing(FIG5, 4, 97)
+    sizes = assignment_sizes(assignment)
+    assert sizes[0] == 97  # first bin topped up
+
+
+def test_fragmin_concentrates_cardinality():
+    """FragMin packs big consecutive items together: unbalanced key counts."""
+    assignment = fragmentation_minimization(FIG5, 4, 97)
+    cards = assignment_cardinalities(assignment)
+    assert max(cards) - min(cards) >= 2
+
+
+def test_fragment_counts_and_helpers():
+    assignment = [{"a": 5, "b": 2}, {"b": 3}]
+    assert assignment_fragments(assignment) == 3
+    assert assignment_sizes(assignment) == [7, 3]
+    assert assignment_cardinalities(assignment) == [2, 1]
+
+
+def test_lower_bound_on_fig5():
+    lb = fragment_lower_bound(FIG5, 4, 97)
+    # K1=150 needs >= 2 bins; everyone else >= 1 -> at least 9
+    assert lb == 9
+    for solver in (first_fit_decreasing, fragmentation_minimization):
+        assert assignment_fragments(solver(FIG5, 4, 97)) >= lb
+
+
+def test_lower_bound_oversize_item():
+    lb = fragment_lower_bound([("big", 25)], 3, 10)
+    assert lb == math.ceil(25 / 10)
+
+
+def test_exact_min_fragments_tiny_instances():
+    # trivially packable: one item per bin
+    assert exact_min_fragments([("a", 5), ("b", 5)], 2, 5) == 2
+    # forced split
+    assert exact_min_fragments([("a", 10)], 2, 5) == 2
+    # no whole packing exists (3+3 > 5): one split is forced
+    assert exact_min_fragments([("a", 4), ("b", 3), ("c", 3)], 2, 5) == 4
+    # whole packing exists
+    assert exact_min_fragments([("a", 4), ("b", 3), ("c", 3)], 2, 7) == 3
+
+
+def test_exact_matches_lower_bound_on_fig5():
+    exact = exact_min_fragments(FIG5, 4, 97)
+    assert exact >= fragment_lower_bound(FIG5, 4, 97)
+    assert exact <= assignment_fragments(first_fit_decreasing(FIG5, 4, 97))
+
+
+def test_exact_node_limit():
+    items = [(f"k{i}", 7) for i in range(12)]
+    with pytest.raises(RuntimeError):
+        exact_min_fragments(items, 4, 25, node_limit=5)
+
+
+@given(
+    sizes=st.lists(st.integers(1, 30), min_size=1, max_size=20),
+    num_bins=st.integers(1, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_solvers_feasible_on_random_instances(sizes, num_bins):
+    items = [(f"k{i}", s) for i, s in enumerate(sizes)]
+    capacity = max(1, math.ceil(sum(sizes) / num_bins))
+    for solver in (first_fit_decreasing, fragmentation_minimization):
+        assignment = solver(items, num_bins, capacity)
+        _check_feasible(items, assignment, num_bins, capacity)
+        assert assignment_fragments(assignment) >= fragment_lower_bound(
+            items, num_bins, capacity
+        )
+
+
+@given(
+    sizes=st.lists(st.integers(1, 12), min_size=1, max_size=6),
+    num_bins=st.integers(1, 3),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_exact_never_beaten_by_heuristics(sizes, num_bins):
+    items = [(f"k{i}", s) for i, s in enumerate(sizes)]
+    capacity = max(1, math.ceil(sum(sizes) / num_bins))
+    exact = exact_min_fragments(items, num_bins, capacity)
+    assert exact >= fragment_lower_bound(items, num_bins, capacity)
+    for solver in (first_fit_decreasing, fragmentation_minimization):
+        assert exact <= assignment_fragments(solver(items, num_bins, capacity))

@@ -1,0 +1,56 @@
+"""Determinism: every technique reproduces its decisions exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import BatchInfo
+from repro.partitioners import PARTITIONER_NAMES, make_partitioner
+
+from ..conftest import make_tuples, zipfish_freqs
+
+INFO = BatchInfo(0, 0.0, 1.0)
+
+
+def _layout(batch):
+    return [
+        sorted((repr(k), len(block.fragment(k))) for k in block.keys)
+        for block in batch.blocks
+    ]
+
+
+@pytest.mark.parametrize("name", PARTITIONER_NAMES)
+def test_fresh_instances_agree(name):
+    """Two independently-built partitioners produce identical layouts."""
+    tuples = make_tuples(zipfish_freqs(40, 600), shuffle_seed=4)
+    a = make_partitioner(name).partition(tuples, 6, INFO)
+    b = make_partitioner(name).partition(tuples, 6, INFO)
+    assert _layout(a) == _layout(b)
+    assert a.split_keys == b.split_keys
+
+
+@pytest.mark.parametrize("name", PARTITIONER_NAMES)
+def test_reset_restores_initial_behaviour(name):
+    """After reset(), a reused instance matches a fresh one."""
+    tuples = make_tuples(zipfish_freqs(30, 400), shuffle_seed=8)
+    part = make_partitioner(name)
+    part.partition(tuples, 4, INFO)  # accumulate any cross-batch state
+    part.reset()
+    reused = part.partition(tuples, 4, INFO)
+    fresh = make_partitioner(name).partition(tuples, 4, INFO)
+    assert _layout(reused) == _layout(fresh)
+
+
+@pytest.mark.parametrize("name", ["hash", "pk2", "pk5", "cam"])
+def test_layout_independent_of_unrelated_history(name):
+    """Partitioning batch B is unaffected by having seen batch A first
+    (per-batch statelessness of these techniques).  Prompt and pkh are
+    excluded: they *intentionally* adapt across batches (Algorithm 1's
+    N_est/K_avg estimation and the heavy-hitter sketch, respectively)."""
+    tuples_a = make_tuples({f"x{i}": 3 for i in range(30)}, shuffle_seed=1)
+    tuples_b = make_tuples(zipfish_freqs(25, 300), shuffle_seed=2)
+    cold = make_partitioner(name).partition(tuples_b, 4, INFO)
+    warm_part = make_partitioner(name)
+    warm_part.partition(tuples_a, 4, INFO)
+    warm = warm_part.partition(tuples_b, 4, BatchInfo(1, 1.0, 2.0))
+    assert _layout(cold) == _layout(warm)

@@ -1,0 +1,98 @@
+"""Heavy-hitter key splitting (pkh): tail locality, head balancing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import BatchInfo
+from repro.core.hashing import candidate_buckets, hash_to_bucket
+from repro.core.metrics import evaluate_partition
+from repro.core.tuples import StreamTuple
+from repro.partitioners import (
+    HashPartitioner,
+    HeavyHitterSplitPartitioner,
+    PK5Partitioner,
+)
+
+from ..conftest import make_tuples, zipfish_freqs
+
+INFO = BatchInfo(0, 0.0, 1.0)
+
+
+def _skewed(total=4000, keys=100, seed=2):
+    return make_tuples(zipfish_freqs(keys, total), shuffle_seed=seed)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HeavyHitterSplitPartitioner(d=0)
+    with pytest.raises(ValueError):
+        HeavyHitterSplitPartitioner(threshold=0.0)
+    with pytest.raises(ValueError):
+        HeavyHitterSplitPartitioner(threshold=1.0)
+    with pytest.raises(ValueError):
+        HeavyHitterSplitPartitioner(sketch_capacity=0)
+
+
+def test_all_tuples_placed():
+    part = HeavyHitterSplitPartitioner()
+    tuples = _skewed()
+    batch = part.partition(tuples, 8, INFO)
+    batch.validate(expected_tuples=len(tuples))
+
+
+def test_cold_keys_follow_hashing():
+    part = HeavyHitterSplitPartitioner(threshold=0.5)  # nothing is "heavy"
+    tuples = _skewed(total=1000)
+    batch = part.partition(tuples, 8, INFO)
+    for key in batch.distinct_keys():
+        expected = hash_to_bucket(key, 8)
+        assert key in batch.blocks[expected]
+    assert batch.split_keys == {}
+
+
+def test_heavy_key_splits_within_candidates():
+    part = HeavyHitterSplitPartitioner(d=3, threshold=0.05)
+    tuples = _skewed(total=5000, keys=50, seed=4)
+    batch = part.partition(tuples, 16, INFO)
+    hot = "k0"  # ~20% of the stream under 1/rank skew
+    spread = batch.split_keys.get(hot)
+    assert spread is not None, "the head key should have been split"
+    allowed = set(candidate_buckets(hot, 16, 3)) | {hash_to_bucket(hot, 16)}
+    assert set(spread) <= allowed
+
+
+def test_tail_locality_better_than_pk5():
+    tuples = _skewed(total=6000, keys=300, seed=5)
+    pkh = evaluate_partition(
+        HeavyHitterSplitPartitioner(d=5).partition(tuples, 8, INFO)
+    )
+    pk5 = evaluate_partition(PK5Partitioner().partition(tuples, 8, INFO))
+    assert pkh.ksr < pk5.ksr
+
+
+def test_size_balance_better_than_hash_under_skew():
+    tuples = _skewed(total=6000, keys=50, seed=6)
+    pkh = evaluate_partition(
+        HeavyHitterSplitPartitioner(d=5, threshold=0.02).partition(tuples, 8, INFO)
+    )
+    hashed = evaluate_partition(HashPartitioner().partition(tuples, 8, INFO))
+    assert pkh.bsi < hashed.bsi
+
+
+def test_reset_clears_sketch_state():
+    part = HeavyHitterSplitPartitioner()
+    part.partition(_skewed(total=1000), 4, INFO)
+    assert part._sketch.total > 0
+    part.reset()
+    assert part._sketch.total == 0
+    assert not part._candidate_cache
+
+
+def test_detector_needs_evidence_before_splitting():
+    """The very first tuples are never 'heavy' (cold-start hashing)."""
+    part = HeavyHitterSplitPartitioner(threshold=0.01, sketch_capacity=64)
+    tuples = [StreamTuple(ts=i * 1e-3, key="hot") for i in range(10)]
+    batch = part.partition(tuples, 8, INFO)
+    # fewer than capacity observations: everything hashed together
+    assert batch.split_keys == {}

@@ -1,0 +1,89 @@
+"""Aggregator algebra: associativity, commutativity, inverses."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries.base import (
+    CountAggregator,
+    SumAggregator,
+    SumCountAggregator,
+)
+
+AGGS = [SumAggregator(), CountAggregator(), SumCountAggregator()]
+
+
+def _fold(agg, values):
+    acc = agg.zero()
+    for v in values:
+        acc = agg.add(acc, v)
+    return acc
+
+
+def test_sum_aggregator():
+    agg = SumAggregator()
+    assert _fold(agg, [1, 2, 3]) == 6
+    assert agg.merge(4, 5) == 9
+    assert agg.inverse(9, 5) == 4
+    assert agg.finalize(7) == 7
+
+
+def test_count_aggregator_ignores_values():
+    agg = CountAggregator()
+    assert _fold(agg, ["x", None, 3.5]) == 3
+    assert agg.merge(2, 5) == 7
+    assert agg.inverse(7, 5) == 2
+
+
+def test_sum_count_aggregator_finalizes_to_mean():
+    agg = SumCountAggregator()
+    acc = _fold(agg, [2.0, 4.0, 6.0])
+    assert acc == (12.0, 3)
+    assert agg.finalize(acc) == pytest.approx(4.0)
+    assert agg.finalize(agg.zero()) == 0.0
+
+
+@pytest.mark.parametrize("agg", AGGS, ids=lambda a: type(a).__name__)
+def test_zero_is_merge_identity(agg):
+    acc = _fold(agg, [1, 2])
+    assert agg.merge(acc, agg.zero()) == acc
+    assert agg.merge(agg.zero(), acc) == acc
+
+
+@pytest.mark.parametrize("agg", AGGS, ids=lambda a: type(a).__name__)
+def test_inverse_cancels_merge(agg):
+    a = _fold(agg, [1, 2, 3])
+    b = _fold(agg, [4, 5])
+    assert agg.inverse(agg.merge(a, b), b) == a
+
+
+@given(chunks=st.lists(st.lists(st.integers(-50, 50), max_size=8), min_size=2, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_property_merge_is_order_insensitive_for_sum(chunks):
+    agg = SumAggregator()
+    partials = [_fold(agg, chunk) for chunk in chunks]
+    fwd = agg.zero()
+    for p in partials:
+        fwd = agg.merge(fwd, p)
+    bwd = agg.zero()
+    for p in reversed(partials):
+        bwd = agg.merge(bwd, p)
+    assert fwd == bwd == _fold(agg, [v for c in chunks for v in c])
+
+
+@given(
+    values=st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=20),
+    split=st.integers(0, 20),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_sumcount_merge_inverse_roundtrip(values, split):
+    agg = SumCountAggregator()
+    cut = min(split, len(values))
+    a = _fold(agg, values[:cut])
+    b = _fold(agg, values[cut:])
+    merged = agg.merge(a, b)
+    back = agg.inverse(merged, b)
+    assert back[0] == pytest.approx(a[0], abs=1e-6)
+    assert back[1] == a[1]

@@ -1,0 +1,166 @@
+"""The Section 7.1 benchmark queries: windows, map functions, filters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tuples import StreamTuple
+from repro.queries import (
+    WindowSpec,
+    debs_query1,
+    debs_query2,
+    gcm_avg_cpu_query,
+    gcm_total_memory_query,
+    select_top_k,
+    topk_query,
+    tpch_query1,
+    tpch_query6,
+    wordcount_query,
+)
+
+
+# ----------------------------------------------------------------------
+# WindowSpec
+# ----------------------------------------------------------------------
+def test_window_spec_tumbling():
+    spec = WindowSpec(length=10.0, slide=10.0)
+    assert spec.is_tumbling
+    assert not WindowSpec(length=10.0, slide=1.0).is_tumbling
+
+
+def test_window_spec_batches_per_window():
+    assert WindowSpec(length=30.0, slide=1.0).batches_per_window(3.0) == 10
+    assert WindowSpec(length=1.0, slide=1.0).batches_per_window(3.0) == 1
+    with pytest.raises(ValueError):
+        WindowSpec(length=10.0, slide=1.0).batches_per_window(0.0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [{"length": 0.0, "slide": 1.0}, {"length": 5.0, "slide": 0.0}, {"length": 5.0, "slide": 6.0}],
+)
+def test_window_spec_validation(kwargs):
+    with pytest.raises(ValueError):
+        WindowSpec(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# WordCount / TopK
+# ----------------------------------------------------------------------
+def test_wordcount_counts_occurrences():
+    q = wordcount_query()
+    tuples = [StreamTuple(ts=0.0, key=w, value=None) for w in ["a", "b", "a"]]
+    assert q.reference_output(tuples) == {"a": 2, "b": 1}
+    assert q.window.length == 30.0
+
+
+def test_topk_query_and_selection():
+    q = topk_query(k=2)
+    tuples = [
+        StreamTuple(ts=0.0, key=w)
+        for w in ["x"] * 5 + ["y"] * 3 + ["z"] * 1
+    ]
+    counts = q.reference_output(tuples)
+    assert select_top_k(counts, 2) == [("x", 5), ("y", 3)]
+
+
+def test_topk_ties_break_deterministically():
+    assert select_top_k({"b": 2, "a": 2, "c": 1}, 2) == [("a", 2), ("b", 2)]
+
+
+def test_topk_validation():
+    with pytest.raises(ValueError):
+        topk_query(k=0)
+    with pytest.raises(ValueError):
+        select_top_k({}, 0)
+
+
+# ----------------------------------------------------------------------
+# DEBS
+# ----------------------------------------------------------------------
+def test_debs_q1_sums_fares():
+    q = debs_query1()
+    tuples = [
+        StreamTuple(ts=0.0, key="taxi1", value=(10.0, 2.0)),
+        StreamTuple(ts=0.1, key="taxi1", value=(5.5, 1.0)),
+        StreamTuple(ts=0.2, key="taxi2", value=(3.0, 0.5)),
+    ]
+    out = q.reference_output(tuples)
+    assert out["taxi1"] == pytest.approx(15.5)
+    assert out["taxi2"] == pytest.approx(3.0)
+    # paper proportions: window/slide == 7200/300
+    assert q.window.length / q.window.slide == pytest.approx(24.0)
+
+
+def test_debs_q2_sums_distances():
+    q = debs_query2()
+    tuples = [StreamTuple(ts=0.0, key="t", value=(10.0, 2.5))]
+    assert q.reference_output(tuples)["t"] == pytest.approx(2.5)
+    assert q.window.length / q.window.slide == pytest.approx(45.0)
+
+
+def test_debs_time_scale_validation():
+    with pytest.raises(ValueError):
+        debs_query1(time_scale=0.0)
+    with pytest.raises(ValueError):
+        debs_query2(time_scale=-1.0)
+
+
+# ----------------------------------------------------------------------
+# GCM
+# ----------------------------------------------------------------------
+def test_gcm_avg_cpu():
+    q = gcm_avg_cpu_query()
+    tuples = [
+        StreamTuple(ts=0.0, key="job", value=(0.2, 0.1)),
+        StreamTuple(ts=0.1, key="job", value=(0.4, 0.3)),
+    ]
+    acc = q.reference_output(tuples)["job"]
+    assert q.aggregator.finalize(acc) == pytest.approx(0.3)
+
+
+def test_gcm_total_memory():
+    q = gcm_total_memory_query()
+    tuples = [
+        StreamTuple(ts=0.0, key="job", value=(0.2, 0.1)),
+        StreamTuple(ts=0.1, key="job", value=(0.4, 0.3)),
+    ]
+    assert q.reference_output(tuples)["job"] == pytest.approx(0.4)
+
+
+# ----------------------------------------------------------------------
+# TPC-H
+# ----------------------------------------------------------------------
+def test_tpch_q1_quantity_per_part():
+    q = tpch_query1()
+    tuples = [
+        StreamTuple(ts=0.0, key=7, value=(10, 1000.0, 0.05)),
+        StreamTuple(ts=0.1, key=7, value=(5, 500.0, 0.02)),
+    ]
+    assert q.reference_output(tuples)[7] == 15
+    assert q.window.length / q.window.slide == pytest.approx(60.0)
+
+
+def test_tpch_q6_predicate_filters():
+    q = tpch_query6()
+    tuples = [
+        StreamTuple(ts=0.0, key=1, value=(10, 1000.0, 0.06)),   # passes
+        StreamTuple(ts=0.1, key=1, value=(30, 3000.0, 0.06)),   # qty >= 24
+        StreamTuple(ts=0.2, key=1, value=(10, 1000.0, 0.20)),   # discount out
+        StreamTuple(ts=0.3, key=2, value=(23, 100.0, 0.05)),    # passes
+    ]
+    out = q.reference_output(tuples)
+    assert out[1] == pytest.approx(60.0)
+    assert out[2] == pytest.approx(5.0)
+
+
+def test_tpch_scale_validation():
+    with pytest.raises(ValueError):
+        tpch_query1(time_scale=0)
+    with pytest.raises(ValueError):
+        tpch_query6(time_scale=-2)
+
+
+def test_queries_default_to_map_side_combine():
+    for q in (wordcount_query(), debs_query1(), gcm_avg_cpu_query(), tpch_query1()):
+        assert q.map_side_combine

@@ -1,0 +1,61 @@
+"""CLI: argument handling and experiment dispatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_requires_known_experiment():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_run_table1(capsys):
+    assert main(["run", "table1", "--no-save"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Tweets" in out
+
+
+def test_run_fig6(capsys):
+    assert main(["run", "fig6", "--no-save"]) == 0
+    out = capsys.readouterr().out
+    assert "Prompt (Algorithm 2)" in out
+
+
+def test_run_fig10_with_dataset(capsys):
+    assert main(["run", "fig10", "--dataset", "tpch", "--no-save"]) == 0
+    out = capsys.readouterr().out
+    assert "tpch" in out
+    assert "prompt" in out
+
+
+def test_run_fig14b(capsys):
+    assert main(["run", "fig14b", "--no-save"]) == 0
+    out = capsys.readouterr().out
+    assert "OverheadPct" in out
+
+
+def test_run_saves_results(tmp_path, capsys, monkeypatch):
+    import repro.bench.reporting as reporting
+    import repro.cli as cli
+
+    monkeypatch.setattr(reporting, "results_dir", lambda: tmp_path)
+    monkeypatch.setattr(cli, "save_results", reporting.save_results)
+    assert main(["run", "fig6"]) == 0
+    assert (tmp_path / "cli_fig6.json").exists()
+
+
+def test_quickstart_command(capsys):
+    assert main(["quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out

@@ -1,0 +1,145 @@
+"""Dataset generators: schemas, skew, determinism, Table 1 metadata."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads import (
+    ConstantRate,
+    ElasticWorkloadSource,
+    RampRate,
+    ZipfKeyedSource,
+    debs_taxi_source,
+    gcm_source,
+    synd_source,
+    tpch_lineitem_source,
+    tweets_source,
+)
+
+ALL_SOURCES = [
+    ("tweets", lambda: tweets_source(rate=2000.0, seed=1)),
+    ("synd", lambda: synd_source(1.0, rate=2000.0, seed=1)),
+    ("debs", lambda: debs_taxi_source(rate=2000.0, seed=1)),
+    ("gcm", lambda: gcm_source(rate=2000.0, seed=1)),
+    ("tpch", lambda: tpch_lineitem_source(rate=2000.0, seed=1)),
+]
+
+
+@pytest.mark.parametrize("name,factory", ALL_SOURCES)
+def test_sources_emit_sorted_in_interval(name, factory):
+    source = factory()
+    tuples = source.tuples_between(1.0, 2.0)
+    assert len(tuples) == 2000
+    assert all(1.0 <= t.ts < 2.0 for t in tuples)
+    ts = [t.ts for t in tuples]
+    assert ts == sorted(ts)
+
+
+@pytest.mark.parametrize("name,factory", ALL_SOURCES)
+def test_sources_are_deterministic_and_resettable(name, factory):
+    source = factory()
+    first = source.tuples_between(0.0, 0.5)
+    source.reset()
+    replay = source.tuples_between(0.0, 0.5)
+    assert [t.key for t in first] == [t.key for t in replay]
+    assert [t.value for t in first] == [t.value for t in replay]
+
+
+@pytest.mark.parametrize("name,factory", ALL_SOURCES)
+def test_sources_expose_table1_properties(name, factory):
+    props = factory().properties()
+    assert props is not None
+    assert props.paper_size.endswith("GB")
+    assert props.scaled_cardinality > 0
+
+
+def test_tweets_keys_are_words_with_skew():
+    source = tweets_source(rate=5000.0, vocabulary=5000, seed=2)
+    tuples = source.tuples_between(0.0, 2.0)
+    counts = Counter(t.key for t in tuples)
+    top_key, top_count = counts.most_common(1)[0]
+    assert top_key.startswith("w")
+    assert top_count / len(tuples) > 0.02  # head word is hot
+
+
+def test_synd_skew_follows_exponent():
+    def top_share(z):
+        tuples = synd_source(z, num_keys=2000, rate=5000.0, seed=3).tuples_between(0.0, 2.0)
+        counts = Counter(t.key for t in tuples)
+        return counts.most_common(1)[0][1] / len(tuples)
+
+    assert top_share(0.2) < top_share(1.0) < top_share(1.8)
+
+
+def test_debs_values_are_fare_distance_pairs():
+    source = debs_taxi_source(rate=1000.0, seed=4)
+    for t in source.tuples_between(0.0, 0.1):
+        fare, distance = t.value
+        assert fare >= 2.50  # base fare
+        assert distance >= 0.0
+        assert isinstance(t.key, int)
+
+
+def test_gcm_values_are_bounded_resources():
+    source = gcm_source(rate=1000.0, seed=5)
+    for t in source.tuples_between(0.0, 0.1):
+        cpu, mem = t.value
+        assert 0.0 < cpu <= 1.0
+        assert 0.0 < mem <= 1.0
+
+
+def test_tpch_values_follow_q1_q6_schema():
+    source = tpch_lineitem_source(rate=1000.0, seed=6)
+    for t in source.tuples_between(0.0, 0.1):
+        quantity, price, discount = t.value
+        assert 1 <= quantity <= 50
+        assert price > 0
+        assert 0.0 <= discount <= 0.10
+
+
+def test_tpch_is_near_uniform():
+    tuples = tpch_lineitem_source(num_parts=500, rate=5000.0, seed=7).tuples_between(0.0, 2.0)
+    counts = Counter(t.key for t in tuples)
+    assert counts.most_common(1)[0][1] / len(tuples) < 0.02
+
+
+def test_value_sampler_length_mismatch_detected():
+    source = ZipfKeyedSource(
+        "broken",
+        ConstantRate(100.0),
+        num_keys=10,
+        exponent=1.0,
+        value_sampler=lambda rng, count: [1] * (count - 1),
+    )
+    with pytest.raises(AssertionError, match="value sampler"):
+        source.tuples_between(0.0, 1.0)
+
+
+def test_elastic_source_ramps_keys():
+    source = ElasticWorkloadSource(
+        RampRate(1000, 1000, 0.0, 10.0),
+        keys_start=10,
+        keys_end=1000,
+        t0=0.0,
+        t1=10.0,
+        seed=8,
+    )
+    early = source.tuples_between(0.0, 1.0)
+    late = source.tuples_between(9.0, 10.0)
+    assert len({t.key for t in early}) < len({t.key for t in late})
+    assert source.active_keys(-1.0) == 10
+    assert source.active_keys(20.0) == 1000
+
+
+def test_elastic_source_validation():
+    with pytest.raises(ValueError):
+        ElasticWorkloadSource(ConstantRate(1.0), keys_start=0)
+    with pytest.raises(ValueError):
+        ElasticWorkloadSource(ConstantRate(1.0), t0=5.0, t1=5.0)
+
+
+def test_empty_interval_returns_nothing():
+    source = synd_source(1.0, rate=1000.0)
+    assert source.tuples_between(1.0, 1.0) == []
