@@ -15,11 +15,13 @@ from .experiments import (
 from .harness import ThroughputResult, ThroughputSearch, run_at_rate
 from .report import render_run, sparkline
 from .reporting import format_series, format_table, results_dir, save_results
+from .speedup import bench_parallel_speedup, heavy_count_one
 
 __all__ = [
     "PAPER_TECHNIQUES",
     "ThroughputResult",
     "ThroughputSearch",
+    "bench_parallel_speedup",
     "fig6_assignment_tradeoffs",
     "fig10_partition_metrics",
     "fig11_throughput_vs_interval",
@@ -30,6 +32,7 @@ __all__ = [
     "fig14b_partition_overhead",
     "format_series",
     "format_table",
+    "heavy_count_one",
     "render_run",
     "results_dir",
     "sparkline",

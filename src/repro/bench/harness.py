@@ -13,7 +13,7 @@ while preserving its variability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from ..engine.engine import EngineConfig, MicroBatchEngine, RunResult
@@ -34,8 +34,17 @@ def run_at_rate(
     source_factory: SourceFactory,
     rate: float,
     num_batches: int,
+    *,
+    backend: str | None = None,
 ) -> RunResult:
-    """One engine run with a freshly-built source at ``rate``."""
+    """One engine run with a freshly-built source at ``rate``.
+
+    ``backend`` overrides ``config.executor`` for this run — backends
+    are bit-identical by contract, so probing under "parallel" answers
+    the same stability question while exercising the pool.
+    """
+    if backend is not None and backend != config.executor:
+        config = replace(config, executor=backend)
     engine = MicroBatchEngine(partitioner, query, config)
     return engine.run(source_factory(rate), num_batches)
 
@@ -68,10 +77,18 @@ class ThroughputSearch:
     #: hard probe cap (each probe is one full engine run)
     max_probes: int = 12
     initial_rate: float = 5_000.0
+    #: execution backend override for every probe (None = config's own)
+    backend: Optional[str] = None
 
     def stable_at(self, partitioner: Partitioner, rate: float) -> bool:
         result = run_at_rate(
-            partitioner, self.query, self.config, self.source_factory, rate, self.num_batches
+            partitioner,
+            self.query,
+            self.config,
+            self.source_factory,
+            rate,
+            self.num_batches,
+            backend=self.backend,
         )
         return result.stable
 

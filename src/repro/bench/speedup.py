@@ -1,0 +1,168 @@
+"""Serial vs parallel execution-backend speedup microbenchmark.
+
+Runs the same seeded Zipf-skew (SynD) workload through the engine once
+per backend and compares *real* wall-clock: end-to-end run time plus
+the per-task body time the stats layer now records.  Both runs must
+produce byte-identical windowed answers — a speedup that changed the
+answer would be worthless — so the bench asserts equality before it
+reports a single number.
+
+Two workload rows keep the result honest:
+
+- ``wordcount-light`` — the paper's WordCount.  Map bodies are ~1 us
+  per tuple, far below process-pool IPC cost, so parallel dispatch
+  typically *loses* here; recording that is the point.
+- ``wordcount-heavy`` — the same counting query with a deterministic
+  CPU-bound map function (:func:`heavy_count_one`), the regime real
+  Map tasks (parsing, feature extraction) live in, where fanning one
+  task per block across cores pays off.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import zlib
+from typing import Any
+
+from ..core.tuples import Key
+from ..engine.engine import EngineConfig, MicroBatchEngine, RunResult
+from ..partitioners.registry import make_partitioner
+from ..queries.base import CountAggregator, Query, WindowSpec
+from ..queries.wordcount import count_one
+from ..workloads.arrival import ConstantRate
+from ..workloads.synd import synd_source
+
+__all__ = ["heavy_count_one", "bench_parallel_speedup"]
+
+#: rounds of crc32 mixing per tuple in the heavy variant (~10 us/tuple)
+HEAVY_ROUNDS = 120
+
+
+def heavy_count_one(key: Key, value: Any) -> int:
+    """Count one occurrence after deterministic CPU-bound work.
+
+    Module-level and seed-free so it pickles to worker processes and
+    returns the same result under any backend.
+    """
+    digest = zlib.crc32(repr(key).encode())
+    for _ in range(HEAVY_ROUNDS):
+        digest = zlib.crc32(digest.to_bytes(4, "little"))
+    # The mixing result is discarded by construction — contribution is 1,
+    # exactly like WordCount — but the work is real and unoptimizable.
+    return 1 if digest >= 0 else 1
+
+
+def _heavy_wordcount_query(window_length: float) -> Query:
+    return Query(
+        name="wordcount-heavy",
+        aggregator=CountAggregator(),
+        window=WindowSpec(length=window_length, slide=window_length / 10),
+        map_fn=heavy_count_one,
+    )
+
+
+def _timed_run(
+    query: Query,
+    *,
+    executor: str,
+    workers: int | None,
+    rate: float,
+    num_batches: int,
+    num_keys: int,
+    exponent: float,
+    num_blocks: int,
+    seed: int,
+) -> tuple[float, RunResult]:
+    source = synd_source(
+        exponent, num_keys=num_keys, arrival=ConstantRate(rate), seed=seed
+    )
+    config = EngineConfig(
+        batch_interval=1.0,
+        num_blocks=num_blocks,
+        num_reducers=num_blocks,
+        executor=executor,
+        executor_workers=workers,
+        run_seed=seed,
+    )
+    engine = MicroBatchEngine(make_partitioner("prompt"), query, config)
+    started = time.perf_counter()
+    result = engine.run(source, num_batches)
+    return time.perf_counter() - started, result
+
+
+def bench_parallel_speedup(
+    *,
+    rate: float = 4_000.0,
+    num_batches: int = 6,
+    num_keys: int = 2_000,
+    exponent: float = 1.4,
+    num_blocks: int = 8,
+    workers: int | None = None,
+    seed: int = 11,
+) -> list[dict[str, Any]]:
+    """Wall-clock comparison rows for serial vs parallel backends.
+
+    Raises ``AssertionError`` if any backend pair disagrees on the
+    windowed answers or the (wall-clock-blind) batch records.
+    """
+    window = 3.0
+    workloads = [
+        ("wordcount-light", Query(
+            name="wordcount",
+            aggregator=CountAggregator(),
+            window=WindowSpec(length=window, slide=window / 10),
+            map_fn=count_one,
+        )),
+        ("wordcount-heavy", _heavy_wordcount_query(window)),
+    ]
+    rows: list[dict[str, Any]] = []
+    for label, query in workloads:
+        runs: dict[str, tuple[float, RunResult]] = {}
+        for backend in ("serial", "parallel"):
+            runs[backend] = _timed_run(
+                query,
+                executor=backend,
+                workers=workers,
+                rate=rate,
+                num_batches=num_batches,
+                num_keys=num_keys,
+                exponent=exponent,
+                num_blocks=num_blocks,
+                seed=seed,
+            )
+        (serial_wall, serial_run) = runs["serial"]
+        (parallel_wall, parallel_run) = runs["parallel"]
+        # Per-window pickles: list-level pickling also encodes object
+        # sharing across windows (memo back-references), which differs
+        # between backends without any content difference.
+        identical = len(serial_run.window_answers) == len(
+            parallel_run.window_answers
+        ) and all(
+            pickle.dumps(s) == pickle.dumps(p)
+            for s, p in zip(
+                serial_run.window_answers, parallel_run.window_answers
+            )
+        )
+        assert identical, f"{label}: backends disagree on windowed answers"
+        assert serial_run.stats.records == parallel_run.stats.records, (
+            f"{label}: backends disagree on batch records"
+        )
+        rows.append(
+            {
+                "Workload": label,
+                "CpuCount": os.cpu_count() or 1,
+                "ZipfExponent": exponent,
+                "Tuples": serial_run.stats.total_tuples,
+                "Batches": num_batches,
+                "SerialWallSeconds": serial_wall,
+                "ParallelWallSeconds": parallel_wall,
+                "Speedup": serial_wall / parallel_wall if parallel_wall > 0 else 0.0,
+                "SerialTaskSeconds": serial_run.stats.total_task_wall_seconds(),
+                "ParallelTaskSeconds": parallel_run.stats.total_task_wall_seconds(),
+                "ParallelFallbacks": parallel_run.executor_fallbacks,
+                "OutputsIdentical": identical,
+            }
+        )
+    return rows

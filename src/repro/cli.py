@@ -19,6 +19,7 @@ import sys
 from typing import Any, Callable
 
 from .bench import (
+    bench_parallel_speedup,
     fig6_assignment_tradeoffs,
     fig10_partition_metrics,
     fig11_throughput_vs_interval,
@@ -109,6 +110,17 @@ def _run_fig14b(args: argparse.Namespace) -> tuple[str, Any]:
     return format_table(rows, title="Figure 14b: partitioning overhead"), rows
 
 
+def _run_speedup(args: argparse.Namespace) -> tuple[str, Any]:
+    kwargs: dict[str, Any] = {"workers": args.workers}
+    if args.quick:
+        kwargs.update(rate=2_000.0, num_batches=3, num_keys=1_000)
+    rows = bench_parallel_speedup(**kwargs)
+    return (
+        format_table(rows, title="Serial vs parallel backend wall-clock"),
+        rows,
+    )
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], tuple[str, Any]]]] = {
     "table1": ("Table 1 — dataset properties", _run_table1),
     "fig6": ("Figure 6 — B-BPFI assignment trade-offs", _run_fig6),
@@ -119,6 +131,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], tuple[str, Any]
     "fig13": ("Figure 13 — latency distribution", _run_fig13),
     "fig14a": ("Figure 14a — post-sort throughput", _run_fig14a),
     "fig14b": ("Figure 14b — partitioning overhead", _run_fig14b),
+    "speedup": ("Serial vs parallel execution backend wall-clock", _run_speedup),
 }
 
 
@@ -148,8 +161,26 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--no-save", action="store_true", help="skip writing benchmarks/results JSON"
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the speedup bench (default: auto)",
+    )
 
-    sub.add_parser("quickstart", help="run the quickstart demo")
+    quick = sub.add_parser("quickstart", help="run the quickstart demo")
+    quick.add_argument(
+        "--backend",
+        default="serial",
+        choices=["serial", "parallel"],
+        help="execution backend for map/reduce tasks",
+    )
+    quick.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the parallel backend (default: auto)",
+    )
     return parser
 
 
@@ -168,9 +199,16 @@ def main(argv: list[str] | None = None) -> int:
         engine = MicroBatchEngine(
             make_partitioner("prompt"),
             wordcount_query(window_length=10.0),
-            EngineConfig(batch_interval=1.0, num_blocks=8, num_reducers=8),
+            EngineConfig(
+                batch_interval=1.0,
+                num_blocks=8,
+                num_reducers=8,
+                executor=args.backend,
+                executor_workers=args.workers,
+            ),
         )
         result = engine.run(tweets_source(rate=5_000.0, seed=42), num_batches=12)
+        print(f"backend: {result.backend_name}")
         print(f"throughput: {result.stats.throughput():,.0f} tuples/s")
         print(f"mean latency: {result.stats.mean_latency():.3f}s")
         for word, count in select_top_k(result.final_window_answer(), 5):

@@ -31,7 +31,14 @@ from typing import Collection, Mapping, Sequence
 from .hashing import hash_to_bucket
 from .tuples import Key, _order_token
 
-__all__ = ["KeyCluster", "BucketAssignment", "ReduceBucketAllocator", "hash_allocate"]
+__all__ = [
+    "KeyCluster",
+    "BucketAssignment",
+    "ReduceBucketAllocator",
+    "hash_allocate",
+    "hash_reduce_allocation",
+    "bpvc_reduce_allocation",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,6 +86,29 @@ def hash_allocate(
         out.assignment[cluster.key] = bucket
         out.bucket_loads[bucket] += cluster.size
     return out
+
+
+def hash_reduce_allocation(
+    clusters: Sequence[KeyCluster],
+    split_keys: Collection[Key] | Mapping[Key, object],
+    num_buckets: int,
+) -> BucketAssignment:
+    """Module-level hashing allocation (``split_keys`` is irrelevant to it).
+
+    Execution backends ship this by *reference* to worker processes —
+    pickling a function defined at module scope costs bytes, not a copy
+    of any partitioner state.
+    """
+    return hash_allocate(list(clusters), num_buckets)
+
+
+def bpvc_reduce_allocation(
+    clusters: Sequence[KeyCluster],
+    split_keys: Collection[Key] | Mapping[Key, object],
+    num_buckets: int,
+) -> BucketAssignment:
+    """Module-level Algorithm 3 allocation (stateless; safe across processes)."""
+    return ReduceBucketAllocator(num_buckets).allocate(list(clusters), split_keys)
 
 
 class ReduceBucketAllocator:

@@ -9,6 +9,13 @@ from .checkpoint import (
 )
 from .cluster import Cluster, ClusterConfig, makespan
 from .engine import EngineConfig, MicroBatchEngine, RunResult
+from .executors import (
+    EXECUTOR_NAMES,
+    ExecutionBackend,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from .faults import FailureInjector, RecoveryEvent, recover_batch
 from .invariants import InvariantViolation, check_run_invariants
 from .lateness import LatenessConfig, LatenessMonitor
@@ -19,11 +26,16 @@ from .state import BatchState, StateStore
 from .stats import BatchRecord, RunStats, percentile
 from .tasks import (
     BatchExecution,
+    BucketInput,
     MapTaskResult,
     ReduceTaskResult,
     TaskCostModel,
+    derive_task_seed,
     execute_batch_tasks,
     execute_map_task,
+    run_map_task,
+    run_reduce_task,
+    shuffle_map_results,
 )
 from .topology import Topology
 from .windows import WindowedAggregator
@@ -34,6 +46,11 @@ __all__ = [
     "BatchExecution",
     "BatchRecord",
     "BatchState",
+    "BucketInput",
+    "EXECUTOR_NAMES",
+    "ExecutionBackend",
+    "ParallelExecutor",
+    "SerialExecutor",
     "CheckpointManager",
     "Cluster",
     "ClusterConfig",
@@ -60,9 +77,14 @@ __all__ = [
     "WindowSnapshot",
     "WindowedAggregator",
     "check_run_invariants",
+    "derive_task_seed",
     "execute_batch_tasks",
     "execute_map_task",
+    "make_executor",
     "makespan",
+    "run_map_task",
+    "run_reduce_task",
+    "shuffle_map_results",
     "percentile",
     "recover_batch",
     "restore_window",

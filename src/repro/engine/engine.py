@@ -29,6 +29,7 @@ from ..queries.base import Query
 from ..workloads.source import StreamSource
 from .backpressure import BackpressureConfig, BackpressureMonitor
 from .cluster import Cluster, ClusterConfig
+from .executors import EXECUTOR_NAMES, ExecutionBackend, make_executor
 from .faults import FailureInjector, RecoveryEvent
 from .lateness import LatenessConfig, LatenessMonitor
 from .receiver import Receiver
@@ -36,7 +37,7 @@ from .scheduler import PipelineScheduler, ScheduledJob
 from .simulation import EventLoop
 from .state import StateStore
 from .stats import BatchRecord, RunStats
-from .tasks import BatchExecution, TaskCostModel, execute_batch_tasks
+from .tasks import BatchExecution, TaskCostModel
 from .topology import Topology
 from .windows import WindowedAggregator
 
@@ -67,6 +68,14 @@ class EngineConfig:
     backpressure: BackpressureConfig = field(default_factory=BackpressureConfig)
     track_outputs: bool = True
     replicate_inputs: bool = False
+    #: execution backend dispatching Map/Reduce tasks: "serial" runs
+    #: them inline; "parallel" fans them out over a process pool with
+    #: bit-identical results (see repro.engine.executors)
+    executor: str = "serial"
+    #: worker processes for the parallel backend (None = auto)
+    executor_workers: Optional[int] = None
+    #: root seed for per-task RNG derivation (run-level determinism)
+    run_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.batch_interval <= 0:
@@ -75,6 +84,12 @@ class EngineConfig:
             raise ValueError("num_blocks must be >= 1")
         if self.num_reducers < 1:
             raise ValueError("num_reducers must be >= 1")
+        if self.executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_NAMES}, got {self.executor!r}"
+            )
+        if self.executor_workers is not None and self.executor_workers < 1:
+            raise ValueError("executor_workers must be >= 1 when set")
 
 
 @dataclass
@@ -89,6 +104,10 @@ class RunResult:
     recoveries: list[RecoveryEvent]
     early_release: EarlyReleaseController
     lateness: Optional[LatenessMonitor] = None
+    #: execution backend that ran the batches ("serial"/"parallel")
+    backend_name: str = "serial"
+    #: batches where the parallel backend degraded to serial execution
+    executor_fallbacks: int = 0
 
     @property
     def stable(self) -> bool:
@@ -120,6 +139,11 @@ class MicroBatchEngine:
         if num_batches < 1:
             raise ValueError(f"num_batches must be >= 1, got {num_batches}")
         cfg = self.config
+        backend = make_executor(
+            cfg.executor,
+            max_workers=cfg.executor_workers,
+            run_seed=cfg.run_seed,
+        )
         loop = EventLoop()
         scheduler = PipelineScheduler(loop)
         cluster = Cluster(cfg.cluster)
@@ -169,7 +193,7 @@ class MicroBatchEngine:
             reduce_tasks = scaler.reduce_tasks if scaler else cfg.num_reducers
             partitioned = self.partitioner.partition(tuples, map_tasks, info)
             early.record(partitioned.partition_elapsed, window)
-            execution = execute_batch_tasks(
+            execution = backend.run_batch(
                 partitioned,
                 self.query,
                 self.partitioner,
@@ -222,7 +246,10 @@ class MicroBatchEngine:
             lambda: heartbeat(0, 0.0, cfg.batch_interval),
             label="heartbeat-0",
         )
-        loop.run()
+        try:
+            loop.run()
+        finally:
+            backend.close()
         return RunResult(
             stats=stats,
             window_answers=window_answers,
@@ -232,6 +259,8 @@ class MicroBatchEngine:
             recoveries=recoveries,
             early_release=early,
             lateness=lateness,
+            backend_name=backend.name,
+            executor_fallbacks=backend.fallbacks,
         )
 
     # ------------------------------------------------------------------
@@ -307,6 +336,9 @@ class MicroBatchEngine:
             bucket_weights=tuple(r.input_weight for r in execution.reduce_results),
             partition_elapsed=partition_elapsed,
             scaling=decision,
+            backend=execution.backend,
+            map_wall_seconds=tuple(execution.map_wall_seconds),
+            reduce_wall_seconds=tuple(execution.reduce_wall_seconds),
         )
         stats.add(record)
         monitor.observe(k, record.load, record.queue_delay, record.batch_interval)

@@ -1,0 +1,347 @@
+"""Pluggable execution backends for the Map -> shuffle -> Reduce pipeline.
+
+The engine used to run every task inline; this module makes the task
+dispatch a strategy so the load-balanced blocks that Algorithm 2
+equalizes are actually *processed concurrently* — the operating regime
+the paper's Eqn. 1 (makespan = longest Map + longest Reduce task)
+assumes.  Two backends ship:
+
+- :class:`SerialExecutor` — the extracted in-process reference loop.
+- :class:`ParallelExecutor` — a ``ProcessPoolExecutor`` running one Map
+  task per data block and one Reduce task per bucket concurrently.
+
+**Determinism contract.**  Both backends must produce *bit-identical*
+:class:`~repro.engine.tasks.BatchExecution` payloads for the same batch
+(the differential test suite enforces this):
+
+- results merge in stable block/bucket-id order (futures are gathered
+  in submission order, never completion order);
+- every task carries a seed derived from
+  ``(run_seed, batch_index, kind, task_id)`` via
+  :func:`~repro.engine.tasks.derive_task_seed`, so any stochastic
+  operator a query may introduce behaves identically under either
+  backend;
+- the shuffle runs on the driver from Map results ordered by block id,
+  so per-bucket partial lists have one canonical order.
+
+**Fallback.**  Pool *infrastructure* failures (a broken pool, an
+unpicklable task component) degrade gracefully to in-process execution
+for the affected batch — serial semantics are the reference, so the
+answer is unchanged; the event is counted on ``fallbacks``/noted on
+``last_fallback_reason``.  Application errors raised *by* a task
+(query bugs, key-locality violations) propagate unchanged: masking
+them behind a silent retry would hide real defects.
+
+Only real wall-clock differs between backends: each task measures its
+body with ``perf_counter`` and the per-batch totals feed
+:mod:`repro.engine.stats`, which is how the speedup microbenchmark
+(``BENCH_parallel_speedup.json``) tracks what parallelism buys.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional, Sequence
+
+from ..core.batch import PartitionedBatch
+from ..partitioners.base import Partitioner
+from ..queries.base import Query
+from .tasks import (
+    BatchExecution,
+    BucketInput,
+    MapTaskResult,
+    ReduceTaskResult,
+    TaskCostModel,
+    derive_task_seed,
+    execute_batch_tasks,
+    run_map_task,
+    run_reduce_task,
+    shuffle_map_results,
+)
+from .topology import Topology
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "EXECUTOR_NAMES",
+    "make_executor",
+]
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy interface: how one batch's tasks are dispatched."""
+
+    #: registry identifier ("serial", "parallel")
+    name: str = "base"
+
+    def __init__(self, *, run_seed: int = 0) -> None:
+        self.run_seed = run_seed
+        #: batches that degraded to in-process execution
+        self.fallbacks = 0
+        self.last_fallback_reason: Optional[str] = None
+
+    @abc.abstractmethod
+    def run_batch(
+        self,
+        batch: PartitionedBatch,
+        query: Query,
+        partitioner: Partitioner,
+        num_reducers: int,
+        cost_model: TaskCostModel,
+        topology: Topology | None = None,
+    ) -> BatchExecution:
+        """Execute one batch's Map -> shuffle -> Reduce computation."""
+
+    def close(self) -> None:
+        """Release any resources (worker pools); idempotent."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(ExecutionBackend):
+    """In-process execution — the reference semantics of the engine."""
+
+    name = "serial"
+
+    def run_batch(
+        self,
+        batch: PartitionedBatch,
+        query: Query,
+        partitioner: Partitioner,
+        num_reducers: int,
+        cost_model: TaskCostModel,
+        topology: Topology | None = None,
+    ) -> BatchExecution:
+        return execute_batch_tasks(
+            batch,
+            query,
+            partitioner,
+            num_reducers,
+            cost_model,
+            topology=topology,
+            run_seed=self.run_seed,
+        )
+
+
+def _map_task_worker(payload: bytes) -> MapTaskResult:
+    """Worker entry point for one Map task.
+
+    Payloads arrive pre-pickled by the driver (see
+    :meth:`ParallelExecutor.run_batch` for why) and are unpacked here.
+    """
+    block, query, allocate, num_reducers, split_keys, cost_model, task_seed = (
+        pickle.loads(payload)
+    )
+    return run_map_task(
+        block, query, allocate, num_reducers, split_keys, cost_model, task_seed
+    )
+
+
+def _reduce_task_worker(payload: bytes) -> ReduceTaskResult:
+    """Worker entry point for one Reduce task (payload pre-pickled)."""
+    bucket, aggregator, cost_model, task_seed = pickle.loads(payload)
+    return run_reduce_task(bucket, aggregator, cost_model, task_seed)
+
+
+def _is_infrastructure_error(exc: BaseException) -> bool:
+    """Pool/serialization failures that warrant the serial fallback.
+
+    Unpicklable payloads surface three ways depending on where pickle
+    gives up: ``PicklingError`` (module-level lookup failure),
+    ``AttributeError`` ("Can't pickle local object ..."), and
+    ``TypeError`` ("cannot pickle '_thread.lock' object").  The latter
+    two only count when they are pickle's complaint — a query's own
+    TypeError/AttributeError must propagate.
+    """
+    if isinstance(exc, (BrokenProcessPool, pickle.PicklingError)):
+        return True
+    if isinstance(exc, (TypeError, AttributeError)) and "pickle" in str(exc).lower():
+        return True
+    return False
+
+
+class ParallelExecutor(ExecutionBackend):
+    """Process-pool execution: one Map task per block, one Reduce per bucket.
+
+    The pool is created lazily on the first batch and reused for the
+    whole run (fork start method where the platform offers it, so
+    workers inherit the loaded modules instead of re-importing).  Task
+    payloads carry only what the task needs — the data block or bucket,
+    the query, a *stateless* allocation callable
+    (:meth:`~repro.partitioners.base.Partitioner.reduce_allocation`),
+    and the cost model — never the engine or partitioner state.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        run_seed: int = 0,
+        fallback_to_serial: bool = True,
+        mp_context: multiprocessing.context.BaseContext | None = None,
+    ) -> None:
+        super().__init__(run_seed=run_seed)
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self.fallback_to_serial = fallback_to_serial
+        self._mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+        self._broken = False
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            ctx = self._mp_context
+            if ctx is None:
+                methods = multiprocessing.get_all_start_methods()
+                ctx = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=ctx
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    def _serial_fallback(
+        self,
+        reason: BaseException,
+        batch: PartitionedBatch,
+        query: Query,
+        partitioner: Partitioner,
+        num_reducers: int,
+        cost_model: TaskCostModel,
+        topology: Topology | None,
+    ) -> BatchExecution:
+        self.fallbacks += 1
+        self.last_fallback_reason = f"{type(reason).__name__}: {reason}"
+        return execute_batch_tasks(
+            batch,
+            query,
+            partitioner,
+            num_reducers,
+            cost_model,
+            topology=topology,
+            run_seed=self.run_seed,
+        )
+
+    def run_batch(
+        self,
+        batch: PartitionedBatch,
+        query: Query,
+        partitioner: Partitioner,
+        num_reducers: int,
+        cost_model: TaskCostModel,
+        topology: Topology | None = None,
+    ) -> BatchExecution:
+        if num_reducers < 1:
+            raise ValueError(f"num_reducers must be >= 1, got {num_reducers}")
+        if self._broken and self.fallback_to_serial:
+            # The pool died earlier in this run; stay serial for the rest.
+            return self._serial_fallback(
+                RuntimeError("process pool previously broke"),
+                batch, query, partitioner, num_reducers, cost_model, topology,
+            )
+        allocate = partitioner.reduce_allocation()
+        split = set(batch.split_keys)
+        batch_index = batch.info.index
+        try:
+            # Payloads are pickled *here*, in the driver, and shipped as
+            # bytes.  Letting the pool's queue-feeder thread pickle them
+            # instead would surface unpicklable payloads asynchronously
+            # and leave the pool wedged (its shutdown can deadlock after
+            # a feeder crash); pickling up front makes the failure
+            # synchronous, classifiable, and pool-preserving.
+            map_payloads = [
+                pickle.dumps(
+                    (
+                        block,
+                        query,
+                        allocate,
+                        num_reducers,
+                        {k for k in split if k in block},
+                        cost_model,
+                        derive_task_seed(self.run_seed, batch_index, "map", block.index),
+                    )
+                )
+                for block in batch.blocks
+            ]
+            pool = self._ensure_pool()
+            map_futures: list[Future[MapTaskResult]] = [
+                pool.submit(_map_task_worker, payload) for payload in map_payloads
+            ]
+            # Gather in submission (= block id) order: deterministic merge.
+            map_results = [f.result() for f in map_futures]
+            buckets = shuffle_map_results(map_results, num_reducers, topology)
+            reduce_payloads = [
+                pickle.dumps(
+                    (
+                        bucket,
+                        query.aggregator,
+                        cost_model,
+                        derive_task_seed(
+                            self.run_seed, batch_index, "reduce", bucket.bucket_index
+                        ),
+                    )
+                )
+                for bucket in buckets
+            ]
+            reduce_futures: list[Future[ReduceTaskResult]] = [
+                pool.submit(_reduce_task_worker, payload)
+                for payload in reduce_payloads
+            ]
+            reduce_results = [f.result() for f in reduce_futures]
+        except BaseException as exc:
+            if isinstance(exc, BrokenProcessPool):
+                self._broken = True
+                self.close()
+            if self.fallback_to_serial and _is_infrastructure_error(exc):
+                return self._serial_fallback(
+                    exc, batch, query, partitioner, num_reducers, cost_model, topology
+                )
+            raise
+        return BatchExecution(
+            map_results=map_results, reduce_results=reduce_results, backend=self.name
+        )
+
+
+EXECUTOR_NAMES: tuple[str, ...] = ("serial", "parallel")
+
+
+def make_executor(
+    name: str,
+    *,
+    max_workers: int | None = None,
+    run_seed: int = 0,
+    fallback_to_serial: bool = True,
+) -> ExecutionBackend:
+    """Build an execution backend by registry name."""
+    if name == "serial":
+        return SerialExecutor(run_seed=run_seed)
+    if name == "parallel":
+        return ParallelExecutor(
+            max_workers,
+            run_seed=run_seed,
+            fallback_to_serial=fallback_to_serial,
+        )
+    raise ValueError(
+        f"unknown executor {name!r}; available: {', '.join(EXECUTOR_NAMES)}"
+    )

@@ -47,8 +47,18 @@ class BatchRecord:
     map_durations: tuple[float, ...]
     reduce_durations: tuple[float, ...]
     bucket_weights: tuple[int, ...]
-    partition_elapsed: float
+    #: driver-side wall-clock of the partitioning call — real time, so
+    #: excluded from equality like the other measured-seconds fields
+    partition_elapsed: float = field(compare=False)
     scaling: Optional[ScalingDecision] = None
+    #: which execution backend processed the batch.  Excluded from
+    #: equality along with the wall-clock fields: two runs that differ
+    #: only in *how* tasks were dispatched must compare equal record
+    #: for record (the differential harness relies on this).
+    backend: str = field(default="serial", compare=False)
+    #: measured per-task wall-clock (real seconds, not simulated time)
+    map_wall_seconds: tuple[float, ...] = field(default=(), compare=False)
+    reduce_wall_seconds: tuple[float, ...] = field(default=(), compare=False)
 
     @property
     def batch_interval(self) -> float:
@@ -68,6 +78,11 @@ class BatchRecord:
         """``W = processing_time / batch_interval`` (Algorithm 4)."""
         interval = self.batch_interval
         return self.processing_time / interval if interval > 0 else float("inf")
+
+    @property
+    def task_wall_seconds(self) -> float:
+        """Total measured wall-clock spent in this batch's task bodies."""
+        return sum(self.map_wall_seconds) + sum(self.reduce_wall_seconds)
 
     @property
     def max_reduce_time(self) -> float:
@@ -144,6 +159,20 @@ class RunStats:
         if self.max_queue_delay() > limit:
             return False
         return self.mean_load(skip=skip) <= 1.0
+
+    # -- real wall-clock (execution backends) -----------------------------
+    def total_task_wall_seconds(self) -> float:
+        """Measured wall-clock summed over every task of every batch.
+
+        This is *real* time spent in task bodies, regardless of where
+        they ran; the serial-vs-parallel speedup microbenchmark compares
+        it against end-to-end run wall-clock per backend.
+        """
+        return sum(r.task_wall_seconds for r in self.records)
+
+    def backends_used(self) -> tuple[str, ...]:
+        """Distinct execution backends that processed batches, sorted."""
+        return tuple(sorted({r.backend for r in self.records}))
 
     # -- figure extracts ----------------------------------------------
     def reduce_time_series(self) -> list[tuple[int, float, float]]:

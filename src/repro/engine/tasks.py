@@ -21,28 +21,64 @@ Constants are calibrated so a simulated 4x4-core cluster sustains rates
 in the tens of thousands of tuples per second with second-scale batch
 intervals — laptop-scale stand-ins for the paper's EC2 numbers; the
 *relative* behaviour between techniques is what carries over.
+
+The module is factored into **pure per-task units** so execution
+backends (:mod:`repro.engine.executors`) can dispatch the same work
+serially or across worker processes and obtain bit-identical results:
+
+- :func:`run_map_task` — one Map task over one data block,
+- :func:`shuffle_map_results` — the deterministic driver-side shuffle,
+- :func:`run_reduce_task` — one Reduce task over one bucket,
+- :func:`derive_task_seed` — the per-task RNG seed, derived stably from
+  ``(run_seed, batch_index, kind, task_id)`` so any future stochastic
+  operator behaves identically under every backend.
+
+:func:`execute_batch_tasks` strings them together in-process (the
+serial reference semantics every other backend must match).
 """
 
 from __future__ import annotations
 
+import hashlib
+import time
 from dataclasses import dataclass, field
-from typing import Collection, Sequence
+from typing import Callable, Collection, Sequence
 
 from ..core.batch import DataBlock, PartitionedBatch
 from ..core.reduce_allocator import BucketAssignment, KeyCluster
 from ..core.tuples import Key
 from ..partitioners.base import Partitioner
-from ..queries.base import Query
+from ..queries.base import Aggregator, Query
 from .topology import Topology
 
 __all__ = [
     "TaskCostModel",
     "MapTaskResult",
     "ReduceTaskResult",
+    "BucketInput",
     "BatchExecution",
+    "derive_task_seed",
     "execute_map_task",
+    "run_map_task",
+    "shuffle_map_results",
+    "run_reduce_task",
     "execute_batch_tasks",
 ]
+
+#: (clusters, split_keys, num_buckets) -> BucketAssignment
+ReduceAllocation = Callable[[Sequence[KeyCluster], Collection[Key], int], BucketAssignment]
+
+
+def derive_task_seed(run_seed: int, batch_index: int, kind: str, task_id: int) -> int:
+    """Stable 63-bit per-task seed from ``(run_seed, batch_index, kind, task_id)``.
+
+    Uses BLAKE2b (never Python's salted ``hash``) so the same task gets
+    the same seed in any process, interpreter restart, or backend —
+    the determinism contract parallel execution must uphold.
+    """
+    material = f"{run_seed}:{batch_index}:{kind}:{task_id}".encode()
+    digest = hashlib.blake2b(material, digest_size=8).digest()
+    return int.from_bytes(digest, "big") >> 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,6 +126,10 @@ class MapTaskResult:
     duration: float
     # per-key aggregated partial value from this block (map-side results)
     partials: dict[Key, object]
+    #: deterministic per-task seed (see :func:`derive_task_seed`)
+    task_seed: int = 0
+    #: measured wall-clock of the task body (real time, not simulated)
+    wall_seconds: float = 0.0
 
 
 @dataclass(slots=True)
@@ -105,6 +145,22 @@ class ReduceTaskResult:
     results: dict[Key, object]
     # fragments fetched across the network (0 without a topology)
     remote_fragments: int = 0
+    #: deterministic per-task seed (see :func:`derive_task_seed`)
+    task_seed: int = 0
+    #: measured wall-clock of the task body (real time, not simulated)
+    wall_seconds: float = 0.0
+
+
+@dataclass(slots=True)
+class BucketInput:
+    """Everything the shuffle delivers to one Reduce task."""
+
+    bucket_index: int
+    weight: int
+    fragment_count: int
+    remote_fragments: int
+    # per-key list of map-side partials, in deterministic arrival order
+    partials: dict[Key, list[object]]
 
 
 @dataclass(slots=True)
@@ -113,6 +169,8 @@ class BatchExecution:
 
     map_results: list[MapTaskResult]
     reduce_results: list[ReduceTaskResult]
+    #: which execution backend produced this batch ("serial"/"parallel")
+    backend: str = "serial"
 
     @property
     def map_durations(self) -> list[float]:
@@ -121,6 +179,16 @@ class BatchExecution:
     @property
     def reduce_durations(self) -> list[float]:
         return [r.duration for r in self.reduce_results]
+
+    @property
+    def map_wall_seconds(self) -> list[float]:
+        """Measured wall-clock of each Map task (real time)."""
+        return [m.wall_seconds for m in self.map_results]
+
+    @property
+    def reduce_wall_seconds(self) -> list[float]:
+        """Measured wall-clock of each Reduce task (real time)."""
+        return [r.wall_seconds for r in self.reduce_results]
 
     def batch_output(self) -> dict[Key, object]:
         """The batch's per-key aggregate (union of all Reduce outputs)."""
@@ -174,48 +242,56 @@ def execute_map_task(
     return clusters, partials, duration
 
 
-def execute_batch_tasks(
-    batch: PartitionedBatch,
+def run_map_task(
+    block: DataBlock,
     query: Query,
-    partitioner: Partitioner,
+    allocate: ReduceAllocation,
     num_reducers: int,
+    split_keys: Collection[Key],
     cost_model: TaskCostModel,
-    topology: Topology | None = None,
-) -> BatchExecution:
-    """Run the full Map -> shuffle -> Reduce computation of one batch.
+    task_seed: int = 0,
+) -> MapTaskResult:
+    """One complete Map task: map the block, then route its clusters.
 
-    Each Map task routes its clusters to Reduce buckets through the
-    technique's own allocator (hashing for all baselines, Algorithm 3
-    for Prompt).  Reduce tasks then merge, per key, the partial results
-    of every contributing Map task.  With a ``topology``, fragments
-    fetched from Map tasks on other nodes additionally pay the cost
-    model's network term.
+    Pure in its inputs (``allocate`` must be a pure callable), so the
+    result is identical whether it runs inline or in a worker process.
+    ``split_keys`` may be any superset of the block's split keys — only
+    membership of the block's own cluster keys is consulted.
     """
-    if num_reducers < 1:
-        raise ValueError(f"num_reducers must be >= 1, got {num_reducers}")
-    split = set(batch.split_keys)
-    map_results: list[MapTaskResult] = []
-    for block in batch.blocks:
-        clusters, partials, duration = execute_map_task(block, query, cost_model)
-        block_split = {c.key for c in clusters if c.key in split}
-        assignment = partitioner.allocate_reduce(clusters, block_split, num_reducers)
-        map_results.append(
-            MapTaskResult(
-                block_index=block.index,
-                input_weight=block.size,
-                input_cardinality=block.cardinality,
-                clusters=clusters,
-                assignment=assignment,
-                duration=duration,
-                partials=partials,
-            )
-        )
+    started = time.perf_counter()
+    clusters, partials, duration = execute_map_task(block, query, cost_model)
+    block_split = {c.key for c in clusters if c.key in split_keys}
+    assignment = allocate(clusters, block_split, num_reducers)
+    return MapTaskResult(
+        block_index=block.index,
+        input_weight=block.size,
+        input_cardinality=block.cardinality,
+        clusters=clusters,
+        assignment=assignment,
+        duration=duration,
+        partials=partials,
+        task_seed=task_seed,
+        wall_seconds=time.perf_counter() - started,
+    )
 
-    # Shuffle: gather fragments per bucket.
-    bucket_weight = [0] * num_reducers
-    bucket_fragments = [0] * num_reducers
-    bucket_remote = [0] * num_reducers
-    bucket_partials: list[dict[Key, list[object]]] = [dict() for _ in range(num_reducers)]
+
+def shuffle_map_results(
+    map_results: Sequence[MapTaskResult],
+    num_reducers: int,
+    topology: Topology | None = None,
+) -> list[BucketInput]:
+    """Gather every Map task's fragments per Reduce bucket (driver-side).
+
+    Iterates Map results in block order and each task's assignment in
+    its own deterministic allocation order, so the per-bucket partials
+    dictionaries have a stable insertion order — the property that makes
+    downstream Reduce outputs byte-identical across backends.  Asserts
+    key locality: a key routed to two buckets is a hard failure.
+    """
+    weights = [0] * num_reducers
+    fragments = [0] * num_reducers
+    remote = [0] * num_reducers
+    partials: list[dict[Key, list[object]]] = [dict() for _ in range(num_reducers)]
     owner: dict[Key, int] = {}
     for m in map_results:
         cluster_size = {c.key: c.size for c in m.clusters}
@@ -225,32 +301,102 @@ def execute_batch_tasks(
                 raise AssertionError(
                     f"key locality violated: {key!r} sent to buckets {prior} and {bucket}"
                 )
-            bucket_weight[bucket] += cluster_size[key]
-            bucket_fragments[bucket] += 1
+            weights[bucket] += cluster_size[key]
+            fragments[bucket] += 1
             if topology is not None and not topology.is_local(m.block_index, bucket):
-                bucket_remote[bucket] += 1
-            bucket_partials[bucket].setdefault(key, []).append(m.partials[key])
+                remote[bucket] += 1
+            partials[bucket].setdefault(key, []).append(m.partials[key])
+    return [
+        BucketInput(
+            bucket_index=j,
+            weight=weights[j],
+            fragment_count=fragments[j],
+            remote_fragments=remote[j],
+            partials=partials[j],
+        )
+        for j in range(num_reducers)
+    ]
 
-    reduce_results: list[ReduceTaskResult] = []
-    for j in range(num_reducers):
-        results: dict[Key, object] = {}
-        for key, parts in bucket_partials[j].items():
-            acc = parts[0]
-            for part in parts[1:]:
-                acc = query.aggregator.merge(acc, part)
-            results[key] = acc
-        duration = cost_model.reduce_time(
-            bucket_weight[j], bucket_fragments[j], bucket_remote[j]
+
+def run_reduce_task(
+    bucket: BucketInput,
+    aggregator: Aggregator,
+    cost_model: TaskCostModel,
+    task_seed: int = 0,
+) -> ReduceTaskResult:
+    """One complete Reduce task: merge each key's partials in order."""
+    started = time.perf_counter()
+    results: dict[Key, object] = {}
+    for key, parts in bucket.partials.items():
+        acc = parts[0]
+        for part in parts[1:]:
+            acc = aggregator.merge(acc, part)
+        results[key] = acc
+    duration = cost_model.reduce_time(
+        bucket.weight, bucket.fragment_count, bucket.remote_fragments
+    )
+    return ReduceTaskResult(
+        bucket_index=bucket.bucket_index,
+        input_weight=bucket.weight,
+        fragment_count=bucket.fragment_count,
+        key_count=len(bucket.partials),
+        duration=duration,
+        results=results,
+        remote_fragments=bucket.remote_fragments,
+        task_seed=task_seed,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def execute_batch_tasks(
+    batch: PartitionedBatch,
+    query: Query,
+    partitioner: Partitioner,
+    num_reducers: int,
+    cost_model: TaskCostModel,
+    topology: Topology | None = None,
+    run_seed: int = 0,
+) -> BatchExecution:
+    """Run the full Map -> shuffle -> Reduce computation of one batch.
+
+    Each Map task routes its clusters to Reduce buckets through the
+    technique's own allocator (hashing for all baselines, Algorithm 3
+    for Prompt).  Reduce tasks then merge, per key, the partial results
+    of every contributing Map task.  With a ``topology``, fragments
+    fetched from Map tasks on other nodes additionally pay the cost
+    model's network term.
+
+    This is the serial reference implementation; execution backends in
+    :mod:`repro.engine.executors` reuse the same per-task units and must
+    reproduce its output bit-for-bit.
+    """
+    if num_reducers < 1:
+        raise ValueError(f"num_reducers must be >= 1, got {num_reducers}")
+    allocate = partitioner.reduce_allocation()
+    split = set(batch.split_keys)
+    batch_index = batch.info.index
+    map_results = [
+        run_map_task(
+            block,
+            query,
+            allocate,
+            num_reducers,
+            {k for k in split if k in block},
+            cost_model,
+            task_seed=derive_task_seed(run_seed, batch_index, "map", block.index),
         )
-        reduce_results.append(
-            ReduceTaskResult(
-                bucket_index=j,
-                input_weight=bucket_weight[j],
-                fragment_count=bucket_fragments[j],
-                key_count=len(bucket_partials[j]),
-                duration=duration,
-                results=results,
-                remote_fragments=bucket_remote[j],
-            )
+        for block in batch.blocks
+    ]
+    buckets = shuffle_map_results(map_results, num_reducers, topology)
+    reduce_results = [
+        run_reduce_task(
+            bucket,
+            query.aggregator,
+            cost_model,
+            task_seed=derive_task_seed(run_seed, batch_index, "reduce", bucket.bucket_index),
         )
-    return BatchExecution(map_results=map_results, reduce_results=reduce_results)
+        for bucket in buckets
+    ]
+    return BatchExecution(
+        map_results=map_results, reduce_results=reduce_results, backend="serial"
+    )

@@ -19,10 +19,18 @@ import abc
 from typing import Callable, Collection, Sequence
 
 from ..core.batch import BatchInfo, DataBlock, PartitionedBatch
-from ..core.reduce_allocator import BucketAssignment, KeyCluster, hash_allocate
+from ..core.reduce_allocator import (
+    BucketAssignment,
+    KeyCluster,
+    hash_allocate,
+    hash_reduce_allocation,
+)
 from ..core.tuples import Key, StreamTuple
 
-__all__ = ["Partitioner", "StreamingPartitioner"]
+__all__ = ["Partitioner", "StreamingPartitioner", "ReduceAllocation"]
+
+#: pure callable routing one Map task's clusters to Reduce buckets
+ReduceAllocation = Callable[[Sequence[KeyCluster], Collection[Key], int], BucketAssignment]
 
 
 class Partitioner(abc.ABC):
@@ -59,6 +67,22 @@ class Partitioner(abc.ABC):
         routes every key identically anyway.
         """
         return hash_allocate(list(clusters), num_buckets)
+
+    def reduce_allocation(self) -> ReduceAllocation:
+        """A picklable, pure callable equivalent to :meth:`allocate_reduce`.
+
+        Execution backends dispatch Map tasks to worker processes; the
+        allocation logic travels with each task and must therefore be
+        (a) free of shared mutable state and (b) cheap to pickle.  The
+        default returns the module-level hashing function when
+        ``allocate_reduce`` is not overridden; a subclass that overrides
+        only ``allocate_reduce`` falls back to its bound method (which
+        pickles the whole partitioner — correct, but heavier; override
+        this method too for a slim handle).
+        """
+        if type(self).allocate_reduce is Partitioner.allocate_reduce:
+            return hash_reduce_allocation
+        return self.allocate_reduce
 
     def heartbeat_overhead(self, batch: PartitionedBatch) -> float:
         """Simulated work this technique adds at the heartbeat (seconds).

@@ -23,7 +23,12 @@ from ..core.batch import BatchInfo, PartitionedBatch
 from ..core.batch_partitioner import PromptBatchPartitioner
 from ..core.buffering import AccumulatedBatch, MicroBatchAccumulator
 from ..core.config import PromptConfig
-from ..core.reduce_allocator import BucketAssignment, KeyCluster, ReduceBucketAllocator
+from ..core.reduce_allocator import (
+    BucketAssignment,
+    KeyCluster,
+    ReduceBucketAllocator,
+    bpvc_reduce_allocation,
+)
 from ..core.sketch_accumulator import SketchMicroBatchAccumulator
 from ..core.tuples import Key, StreamTuple, sorted_key_groups
 from .base import Partitioner
@@ -160,3 +165,13 @@ class PromptPartitioner(Partitioner):
         """Algorithm 3: local load-aware allocation instead of hashing."""
         allocator = ReduceBucketAllocator(num_buckets)
         return allocator.allocate(list(clusters), split_keys)
+
+    def reduce_allocation(self):
+        """Slim process-safe handle: Algorithm 3 without the accumulator.
+
+        The partitioner instance drags the whole buffered batch
+        (``last_batch``) along; pickling it into every Map task would
+        dwarf the task payload, so parallel backends get the stateless
+        module-level function instead.
+        """
+        return bpvc_reduce_allocation

@@ -13,6 +13,7 @@ from typing import Any, Mapping
 
 from ..core.tuples import Key, _order_token
 from .base import CountAggregator, Query, WindowSpec
+from .wordcount import count_one
 
 __all__ = ["topk_query", "select_top_k"]
 
@@ -25,7 +26,7 @@ def topk_query(k: int = 10, window_length: float = 30.0) -> Query:
         name=f"top{k}count",
         aggregator=CountAggregator(),
         window=WindowSpec(length=window_length, slide=window_length / 10),
-        map_fn=lambda key, value: 1,
+        map_fn=count_one,  # module-level: picklable for parallel backends
     )
 
 

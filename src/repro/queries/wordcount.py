@@ -7,9 +7,18 @@ Map stage emits ``(word, 1)`` and the Reduce stage sums.
 
 from __future__ import annotations
 
+from typing import Any
+
+from ..core.tuples import Key
 from .base import CountAggregator, Query, WindowSpec
 
-__all__ = ["wordcount_query"]
+__all__ = ["wordcount_query", "count_one"]
+
+
+def count_one(key: Key, value: Any) -> int:
+    """Map every occurrence to 1 (module-level so queries stay picklable:
+    parallel execution backends ship the query to worker processes)."""
+    return 1
 
 
 def wordcount_query(
@@ -25,5 +34,5 @@ def wordcount_query(
         name="wordcount",
         aggregator=CountAggregator(),
         window=WindowSpec(length=window_length, slide=slide or window_length / 10),
-        map_fn=lambda key, value: 1,
+        map_fn=count_one,
     )

@@ -1,0 +1,197 @@
+"""Execution backends: seeds, registry, fallback policy, pool lifecycle."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.batch import BatchInfo
+from repro.core.tuples import StreamTuple
+from repro.engine.executors import (
+    EXECUTOR_NAMES,
+    ParallelExecutor,
+    SerialExecutor,
+    _is_infrastructure_error,
+    make_executor,
+)
+from repro.engine.tasks import TaskCostModel, derive_task_seed, execute_batch_tasks
+from repro.partitioners import HashPartitioner
+from repro.queries.base import Query, SumAggregator
+from repro.queries.wordcount import count_one
+
+INFO = BatchInfo(0, 0.0, 1.0)
+
+
+def _tuples(n=40, keys=5):
+    return [
+        StreamTuple(ts=i * 0.01, key=f"k{i % keys}", value=i) for i in range(n)
+    ]
+
+
+def _batch(tuples=None, p=3):
+    part = HashPartitioner()
+    return part.partition(tuples if tuples is not None else _tuples(), p, INFO), part
+
+
+def _query(**kw):
+    kw.setdefault("map_fn", count_one)
+    return Query(name="q", aggregator=SumAggregator(), **kw)
+
+
+# ----------------------------------------------------------------------
+# seed derivation
+# ----------------------------------------------------------------------
+def test_task_seed_is_stable():
+    assert derive_task_seed(0, 0, "map", 0) == derive_task_seed(0, 0, "map", 0)
+
+
+def test_task_seed_distinguishes_every_coordinate():
+    base = derive_task_seed(1, 2, "map", 3)
+    assert derive_task_seed(9, 2, "map", 3) != base
+    assert derive_task_seed(1, 9, "map", 3) != base
+    assert derive_task_seed(1, 2, "reduce", 3) != base
+    assert derive_task_seed(1, 2, "map", 9) != base
+
+
+def test_task_seed_fits_in_63_bits():
+    for args in [(0, 0, "map", 0), (2**40, 10**6, "reduce", 4096)]:
+        seed = derive_task_seed(*args)
+        assert 0 <= seed < 2**63
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_make_executor_builds_both_backends():
+    assert isinstance(make_executor("serial"), SerialExecutor)
+    parallel = make_executor("parallel", max_workers=2, run_seed=5)
+    assert isinstance(parallel, ParallelExecutor)
+    assert parallel.max_workers == 2
+    assert parallel.run_seed == 5
+    parallel.close()
+
+
+def test_make_executor_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown executor"):
+        make_executor("gpu")
+
+
+def test_executor_names_cover_registry():
+    for name in EXECUTOR_NAMES:
+        make_executor(name).close()
+
+
+def test_parallel_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        ParallelExecutor(0)
+
+
+# ----------------------------------------------------------------------
+# serial backend
+# ----------------------------------------------------------------------
+def test_serial_executor_matches_reference_function():
+    batch, part = _batch()
+    query = _query()
+    with SerialExecutor(run_seed=3) as backend:
+        execution = backend.run_batch(batch, query, part, 2, TaskCostModel())
+    reference = execute_batch_tasks(
+        batch, query, part, 2, TaskCostModel(), run_seed=3
+    )
+    assert execution.batch_output() == reference.batch_output()
+    assert execution.map_durations == reference.map_durations
+    assert execution.backend == "serial"
+
+
+# ----------------------------------------------------------------------
+# parallel backend
+# ----------------------------------------------------------------------
+def test_parallel_executor_matches_serial_on_one_batch():
+    batch, part = _batch()
+    query = _query()
+    serial = execute_batch_tasks(batch, query, part, 3, TaskCostModel())
+    with ParallelExecutor(2) as backend:
+        parallel = backend.run_batch(batch, query, part, 3, TaskCostModel())
+    assert backend.fallbacks == 0
+    assert parallel.backend == "parallel"
+    assert pickle.dumps(parallel.batch_output()) == pickle.dumps(
+        serial.batch_output()
+    )
+    assert parallel.map_durations == serial.map_durations
+    assert parallel.reduce_durations == serial.reduce_durations
+
+
+def test_parallel_pool_is_reused_across_batches():
+    part = HashPartitioner()
+    with ParallelExecutor(2) as backend:
+        for k in range(3):
+            info = BatchInfo(k, float(k), float(k + 1))
+            batch = part.partition(_tuples(), 3, info)
+            backend.run_batch(batch, _query(), part, 2, TaskCostModel())
+        assert backend._pool is not None
+        pool = backend._pool
+        batch = part.partition(_tuples(), 3, BatchInfo(9, 9.0, 10.0))
+        backend.run_batch(batch, _query(), part, 2, TaskCostModel())
+        assert backend._pool is pool
+    assert backend._pool is None  # context exit shut the pool down
+
+
+def test_unpicklable_query_falls_back_to_serial():
+    batch, part = _batch()
+    query = _query(map_fn=lambda k, v: 1)  # lambdas cannot be pickled
+    with ParallelExecutor(2) as backend:
+        execution = backend.run_batch(batch, query, part, 2, TaskCostModel())
+    assert backend.fallbacks == 1
+    assert backend.last_fallback_reason is not None
+    assert execution.backend == "serial"
+    reference = execute_batch_tasks(batch, query, part, 2, TaskCostModel())
+    assert execution.batch_output() == reference.batch_output()
+
+
+def test_unpicklable_query_raises_when_fallback_disabled():
+    batch, part = _batch()
+    query = _query(map_fn=lambda k, v: 1)
+    with ParallelExecutor(2, fallback_to_serial=False) as backend:
+        with pytest.raises(Exception):
+            backend.run_batch(batch, query, part, 2, TaskCostModel())
+    assert backend.fallbacks == 0
+
+
+def _raise_for_k3(key, value):
+    if key == "k3":
+        raise RuntimeError("application bug in map_fn")
+    return 1
+
+
+def test_application_errors_propagate_instead_of_falling_back():
+    batch, part = _batch()
+    query = _query(map_fn=_raise_for_k3)
+    with ParallelExecutor(2) as backend:
+        with pytest.raises(RuntimeError, match="application bug"):
+            backend.run_batch(batch, query, part, 2, TaskCostModel())
+    assert backend.fallbacks == 0  # a masked bug would be worse than a crash
+
+
+def test_infrastructure_error_classifier():
+    assert _is_infrastructure_error(pickle.PicklingError("x"))
+    assert _is_infrastructure_error(TypeError("cannot pickle '_thread.lock'"))
+    assert _is_infrastructure_error(
+        AttributeError("Can't pickle local object 'f.<locals>.<lambda>'")
+    )
+    assert not _is_infrastructure_error(TypeError("bad operand type"))
+    assert not _is_infrastructure_error(AttributeError("no attribute 'foo'"))
+    assert not _is_infrastructure_error(RuntimeError("boom"))
+    assert not _is_infrastructure_error(AssertionError("key locality violated"))
+
+
+def test_parallel_rejects_zero_reducers():
+    batch, part = _batch()
+    with ParallelExecutor(2) as backend:
+        with pytest.raises(ValueError):
+            backend.run_batch(batch, _query(), part, 0, TaskCostModel())
+
+
+def test_close_is_idempotent():
+    backend = ParallelExecutor(2)
+    backend.close()
+    backend.close()
