@@ -181,6 +181,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the parallel backend (default: auto)",
     )
+    quick.add_argument(
+        "--task-retries",
+        type=int,
+        default=2,
+        help="retry budget per task for transient failures (parallel backend)",
+    )
+    quick.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="straggler deadline in real seconds per task attempt",
+    )
+    quick.add_argument(
+        "--speculate",
+        action="store_true",
+        help="duplicate stragglers past the deadline and race the copies "
+        "(requires --task-timeout)",
+    )
     return parser
 
 
@@ -205,10 +223,23 @@ def main(argv: list[str] | None = None) -> int:
                 num_reducers=8,
                 executor=args.backend,
                 executor_workers=args.workers,
+                max_task_retries=args.task_retries,
+                task_timeout=args.task_timeout,
+                speculative_execution=args.speculate,
             ),
         )
         result = engine.run(tweets_source(rate=5_000.0, seed=42), num_batches=12)
         print(f"backend: {result.backend_name}")
+        if result.backend_name == "parallel":
+            print(
+                "fault tolerance: "
+                f"{result.executor_task_attempts} attempts, "
+                f"{result.executor_task_retries} retries, "
+                f"{result.executor_pool_resurrections} pool resurrections, "
+                f"{result.executor_speculative_wins} speculative wins, "
+                f"{result.executor_timeout_trips} timeout trips, "
+                f"{result.executor_fallbacks} serial fallbacks"
+            )
         print(f"throughput: {result.stats.throughput():,.0f} tuples/s")
         print(f"mean latency: {result.stats.mean_latency():.3f}s")
         for word, count in select_top_k(result.final_window_answer(), 5):

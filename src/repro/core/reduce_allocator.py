@@ -132,8 +132,6 @@ class ReduceBucketAllocator:
         r = self.num_buckets
         out = BucketAssignment(num_buckets=r, bucket_loads=[0] * r)
         total = sum(c.size for c in clusters)
-        if total == 0 and not clusters:
-            return out
 
         # Line 2: split keys go by hashing so all their fragments meet.
         non_split: list[KeyCluster] = []
@@ -147,6 +145,15 @@ class ReduceBucketAllocator:
 
         # Line 4: sort non-split clusters by decreasing size.
         non_split.sort(key=lambda c: (-c.size, _order_token(c.key)))
+
+        # Zero-size clusters carry no load, so WorstFit has no signal to
+        # spread them (with total == 0 every capacity is 0 and the
+        # overflow fallback would dump them all on bucket 0 — worst-case
+        # cardinality imbalance).  Round-robin keeps their *count*
+        # balanced instead; they sorted to the tail in deterministic key
+        # order, so the placement is stable.
+        zero_sized = [c for c in non_split if c.size == 0]
+        non_split = [c for c in non_split if c.size > 0]
 
         # Lines 5-12: WorstFit with bucket retirement.  Capacity is the
         # residual of the expected equal share Bucket_size = |C| / |R|
@@ -173,4 +180,6 @@ class ReduceBucketAllocator:
                 candidates.remove(best)
             out.assignment[cluster.key] = best
             out.bucket_loads[best] += cluster.size
+        for i, cluster in enumerate(zero_sized):
+            out.assignment[cluster.key] = i % r
         return out

@@ -193,6 +193,12 @@ class LossyCountingSketch:
         """
         if not 0.0 < threshold < 1.0:
             raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        if threshold < self.epsilon:
+            # cut would go non-positive and every tracked key would be
+            # returned — the documented guarantee only holds from epsilon up
+            raise ValueError(
+                f"threshold must be >= epsilon ({self.epsilon}), got {threshold}"
+            )
         cut = (threshold - self.epsilon) * self._total
         out = [(k, c) for k, c in self._counts.items() if c >= cut]
         out.sort(key=lambda kv: (-kv[1], _order_token(kv[0])))

@@ -13,10 +13,19 @@ from .executors import (
     EXECUTOR_NAMES,
     ExecutionBackend,
     ParallelExecutor,
+    PayloadSerializationError,
     SerialExecutor,
     make_executor,
 )
-from .faults import FailureInjector, RecoveryEvent, recover_batch
+from .faults import (
+    FailureInjector,
+    InjectedTaskFault,
+    RecoveryEvent,
+    TaskFault,
+    TaskFaultInjector,
+    TransientTaskError,
+    recover_batch,
+)
 from .invariants import InvariantViolation, check_run_invariants
 from .lateness import LatenessConfig, LatenessMonitor
 from .receiver import Receiver
@@ -58,11 +67,13 @@ __all__ = [
     "Event",
     "EventLoop",
     "FailureInjector",
+    "InjectedTaskFault",
     "InvariantViolation",
     "LatenessConfig",
     "LatenessMonitor",
     "MapTaskResult",
     "MicroBatchEngine",
+    "PayloadSerializationError",
     "PipelineScheduler",
     "Receiver",
     "RecoveryEvent",
@@ -73,7 +84,10 @@ __all__ = [
     "SimulationError",
     "StateStore",
     "TaskCostModel",
+    "TaskFault",
+    "TaskFaultInjector",
     "Topology",
+    "TransientTaskError",
     "WindowSnapshot",
     "WindowedAggregator",
     "check_run_invariants",

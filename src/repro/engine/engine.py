@@ -30,7 +30,7 @@ from ..workloads.source import StreamSource
 from .backpressure import BackpressureConfig, BackpressureMonitor
 from .cluster import Cluster, ClusterConfig
 from .executors import EXECUTOR_NAMES, ExecutionBackend, make_executor
-from .faults import FailureInjector, RecoveryEvent
+from .faults import FailureInjector, RecoveryEvent, TaskFaultInjector
 from .lateness import LatenessConfig, LatenessMonitor
 from .receiver import Receiver
 from .scheduler import PipelineScheduler, ScheduledJob
@@ -76,6 +76,19 @@ class EngineConfig:
     executor_workers: Optional[int] = None
     #: root seed for per-task RNG derivation (run-level determinism)
     run_seed: int = 0
+    #: bounded re-execution of transiently-failed task attempts (the
+    #: parallel backend re-runs a task from its pickled payload under
+    #: the same derived seed, so retried runs stay bit-identical)
+    max_task_retries: int = 2
+    #: real seconds a task attempt may stay outstanding before it trips
+    #: the straggler deadline (None = never)
+    task_timeout: Optional[float] = None
+    #: duplicate the slowest outstanding task once its deadline trips and
+    #: take whichever copy delivers first (requires task_timeout)
+    speculative_execution: bool = False
+    #: broken-pool rebuilds allowed per task wave before the batch
+    #: degrades to the serial fallback
+    max_pool_resurrections: int = 2
 
     def __post_init__(self) -> None:
         if self.batch_interval <= 0:
@@ -90,6 +103,17 @@ class EngineConfig:
             )
         if self.executor_workers is not None and self.executor_workers < 1:
             raise ValueError("executor_workers must be >= 1 when set")
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive when set")
+        if self.max_pool_resurrections < 0:
+            raise ValueError("max_pool_resurrections must be >= 0")
+        if self.speculative_execution and self.task_timeout is None:
+            raise ValueError(
+                "speculative_execution requires task_timeout (speculation "
+                "triggers on the straggler deadline)"
+            )
 
 
 @dataclass
@@ -108,6 +132,14 @@ class RunResult:
     backend_name: str = "serial"
     #: batches where the parallel backend degraded to serial execution
     executor_fallbacks: int = 0
+    #: run-level fault-tolerance totals from the dispatch layer (these
+    #: also count work done in batches that ultimately fell back, which
+    #: the per-record sums in RunStats cannot see)
+    executor_task_attempts: int = 0
+    executor_task_retries: int = 0
+    executor_pool_resurrections: int = 0
+    executor_speculative_wins: int = 0
+    executor_timeout_trips: int = 0
 
     @property
     def stable(self) -> bool:
@@ -127,11 +159,13 @@ class MicroBatchEngine:
         config: EngineConfig | None = None,
         *,
         failure_injector: FailureInjector | None = None,
+        task_fault_injector: TaskFaultInjector | None = None,
     ) -> None:
         self.partitioner = partitioner
         self.query = query
         self.config = config or EngineConfig()
         self.failure_injector = failure_injector
+        self.task_fault_injector = task_fault_injector
 
     # ------------------------------------------------------------------
     def run(self, source: StreamSource, num_batches: int) -> RunResult:
@@ -143,6 +177,11 @@ class MicroBatchEngine:
             cfg.executor,
             max_workers=cfg.executor_workers,
             run_seed=cfg.run_seed,
+            max_task_retries=cfg.max_task_retries,
+            task_timeout=cfg.task_timeout,
+            speculative=cfg.speculative_execution,
+            max_pool_resurrections=cfg.max_pool_resurrections,
+            fault_injector=self.task_fault_injector,
         )
         loop = EventLoop()
         scheduler = PipelineScheduler(loop)
@@ -261,6 +300,11 @@ class MicroBatchEngine:
             lateness=lateness,
             backend_name=backend.name,
             executor_fallbacks=backend.fallbacks,
+            executor_task_attempts=backend.task_attempts,
+            executor_task_retries=backend.task_retries,
+            executor_pool_resurrections=backend.pool_resurrections,
+            executor_speculative_wins=backend.speculative_wins,
+            executor_timeout_trips=backend.timeout_trips,
         )
 
     # ------------------------------------------------------------------
@@ -339,6 +383,11 @@ class MicroBatchEngine:
             backend=execution.backend,
             map_wall_seconds=tuple(execution.map_wall_seconds),
             reduce_wall_seconds=tuple(execution.reduce_wall_seconds),
+            task_attempts=execution.task_attempts,
+            task_retries=execution.task_retries,
+            pool_resurrections=execution.pool_resurrections,
+            speculative_wins=execution.speculative_wins,
+            timeout_trips=execution.timeout_trips,
         )
         stats.add(record)
         monitor.observe(k, record.load, record.queue_delay, record.batch_interval)

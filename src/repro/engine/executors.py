@@ -14,8 +14,7 @@ assumes.  Two backends ship:
 :class:`~repro.engine.tasks.BatchExecution` payloads for the same batch
 (the differential test suite enforces this):
 
-- results merge in stable block/bucket-id order (futures are gathered
-  in submission order, never completion order);
+- results merge in stable block/bucket-id order, never completion order;
 - every task carries a seed derived from
   ``(run_seed, batch_index, kind, task_id)`` via
   :func:`~repro.engine.tasks.derive_task_seed`, so any stochastic
@@ -24,13 +23,49 @@ assumes.  Two backends ship:
 - the shuffle runs on the driver from Map results ordered by block id,
   so per-bucket partial lists have one canonical order.
 
-**Fallback.**  Pool *infrastructure* failures (a broken pool, an
-unpicklable task component) degrade gracefully to in-process execution
-for the affected batch — serial semantics are the reference, so the
-answer is unchanged; the event is counted on ``fallbacks``/noted on
-``last_fallback_reason``.  Application errors raised *by* a task
-(query bugs, key-locality violations) propagate unchanged: masking
-them behind a silent retry would hide real defects.
+**Task-level fault tolerance.**  Section 8's exactly-once story —
+recompute lost work from replicated input — is applied at task
+granularity, the way Spark Streaming re-executes a failed task from
+lineage.  The parallel backend keeps every task's pickled payload on
+the driver (the "replicated input" of one task), so any attempt can be
+re-run deterministically:
+
+- **Retries** — an attempt that fails with a
+  :class:`~repro.engine.faults.TransientTaskError` (or ``OSError``) is
+  resubmitted, up to ``max_task_retries`` times per task.  The retry
+  reuses the *same payload* and therefore the same derived seed:
+  retried runs remain bit-identical to clean runs.
+- **Pool resurrection** — after a ``BrokenProcessPool`` the pool is
+  rebuilt and only the still-unfinished tasks are resubmitted; results
+  already gathered are kept.  Up to ``max_pool_resurrections`` rebuilds
+  per task wave; past the budget, the batch degrades to the serial
+  fallback — and the *next* batch tries a fresh pool again instead of
+  pinning the rest of the run to serial.
+- **Straggler speculation** — with a ``task_timeout``, a task whose
+  attempt has been outstanding past the deadline trips a counter; with
+  ``speculative=True`` a duplicate attempt of the slowest outstanding
+  task is launched and whichever copy finishes first wins.  Both copies
+  compute the same bytes (same payload, same seed), so the race is
+  benign by construction.
+
+Counters for all of this (attempts, retries, resurrections,
+speculative wins, timeout trips) surface per batch on
+:class:`~repro.engine.tasks.BatchExecution` and per run on the executor
+itself; the engine folds them into ``BatchRecord``/``RunStats`` as
+``compare=False`` fields so differential equality is unaffected.
+Injected faults for testing come from
+:class:`~repro.engine.faults.TaskFaultInjector`.
+
+**Fallback.**  Pool *infrastructure* failures degrade gracefully to
+in-process execution for the affected batch — serial semantics are the
+reference, so the answer is unchanged; the event is counted on
+``fallbacks``/noted on ``last_fallback_reason``.  Classification is by
+raise-site: payloads are pickled in the driver, so serialization
+failures are caught there and wrapped in
+:class:`PayloadSerializationError`; an exception raised *by* a task in
+a worker (a query bug — even one whose message mentions "pickle")
+propagates unchanged, because masking it behind the serial fallback
+would hide a real defect.
 
 Only real wall-clock differs between backends: each task measures its
 body with ``perf_counter`` and the per-batch totals feed
@@ -44,13 +79,16 @@ import abc
 import multiprocessing
 import os
 import pickle
-from concurrent.futures import Future, ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 from ..core.batch import PartitionedBatch
 from ..partitioners.base import Partitioner
 from ..queries.base import Query
+from .faults import TaskFault, TaskFaultInjector, TransientTaskError
 from .tasks import (
     BatchExecution,
     BucketInput,
@@ -69,9 +107,29 @@ __all__ = [
     "ExecutionBackend",
     "SerialExecutor",
     "ParallelExecutor",
+    "PayloadSerializationError",
     "EXECUTOR_NAMES",
     "make_executor",
 ]
+
+#: exception types a task attempt may fail with and still be retried —
+#: explicitly-transient errors plus OS-level flakiness; anything else is
+#: an application bug and propagates
+RETRYABLE_TASK_ERRORS: tuple[type[BaseException], ...] = (
+    TransientTaskError,
+    OSError,
+)
+
+
+class PayloadSerializationError(RuntimeError):
+    """A task payload could not be pickled on the driver.
+
+    Raised *before* anything is submitted to the pool, which is what
+    makes the infrastructure-vs-application classification a raise-site
+    question: serialization problems are caught here in the driver,
+    so any ``TypeError``/``AttributeError`` coming back from a worker is
+    the query's own and must propagate.
+    """
 
 
 class ExecutionBackend(abc.ABC):
@@ -85,6 +143,13 @@ class ExecutionBackend(abc.ABC):
         #: batches that degraded to in-process execution
         self.fallbacks = 0
         self.last_fallback_reason: Optional[str] = None
+        #: run-level fault-tolerance counters (only the parallel backend
+        #: ever advances them, but every backend exposes them)
+        self.task_attempts = 0
+        self.task_retries = 0
+        self.pool_resurrections = 0
+        self.speculative_wins = 0
+        self.timeout_trips = 0
 
     @abc.abstractmethod
     def run_batch(
@@ -133,41 +198,68 @@ class SerialExecutor(ExecutionBackend):
         )
 
 
-def _map_task_worker(payload: bytes) -> MapTaskResult:
-    """Worker entry point for one Map task.
+def _map_task_worker(payload: bytes, attempt: int = 0) -> MapTaskResult:
+    """Worker entry point for one Map task attempt.
 
     Payloads arrive pre-pickled by the driver (see
     :meth:`ParallelExecutor.run_batch` for why) and are unpacked here.
+    An injected :class:`~repro.engine.faults.TaskFault` fires before the
+    task body, gated on the attempt number.
     """
-    block, query, allocate, num_reducers, split_keys, cost_model, task_seed = (
-        pickle.loads(payload)
-    )
+    (
+        fault,
+        block,
+        query,
+        allocate,
+        num_reducers,
+        split_keys,
+        cost_model,
+        task_seed,
+    ) = pickle.loads(payload)
+    if fault is not None:
+        fault.apply(attempt)
     return run_map_task(
         block, query, allocate, num_reducers, split_keys, cost_model, task_seed
     )
 
 
-def _reduce_task_worker(payload: bytes) -> ReduceTaskResult:
-    """Worker entry point for one Reduce task (payload pre-pickled)."""
-    bucket, aggregator, cost_model, task_seed = pickle.loads(payload)
+def _reduce_task_worker(payload: bytes, attempt: int = 0) -> ReduceTaskResult:
+    """Worker entry point for one Reduce task attempt (payload pre-pickled)."""
+    fault, bucket, aggregator, cost_model, task_seed = pickle.loads(payload)
+    if fault is not None:
+        fault.apply(attempt)
     return run_reduce_task(bucket, aggregator, cost_model, task_seed)
 
 
 def _is_infrastructure_error(exc: BaseException) -> bool:
     """Pool/serialization failures that warrant the serial fallback.
 
-    Unpicklable payloads surface three ways depending on where pickle
-    gives up: ``PicklingError`` (module-level lookup failure),
-    ``AttributeError`` ("Can't pickle local object ..."), and
-    ``TypeError`` ("cannot pickle '_thread.lock' object").  The latter
-    two only count when they are pickle's complaint — a query's own
-    TypeError/AttributeError must propagate.
+    Classification is by raise-site, not message text.  Payloads are
+    pickled driver-side and wrapped in :class:`PayloadSerializationError`
+    on failure; ``pickle.PicklingError`` additionally covers a worker
+    failing to pickle a task's *result* on the way back.  A worker-raised
+    ``TypeError``/``AttributeError`` — even one whose message mentions
+    "pickle" — is the query's own bug and always propagates.
     """
-    if isinstance(exc, (BrokenProcessPool, pickle.PicklingError)):
-        return True
-    if isinstance(exc, (TypeError, AttributeError)) and "pickle" in str(exc).lower():
-        return True
-    return False
+    return isinstance(
+        exc, (BrokenProcessPool, PayloadSerializationError, pickle.PicklingError)
+    )
+
+
+def _is_retryable_error(exc: BaseException) -> bool:
+    """Whether a failed task attempt may be re-executed from its payload."""
+    return isinstance(exc, RETRYABLE_TASK_ERRORS)
+
+
+@dataclass(slots=True)
+class _WaveCounters:
+    """Per-batch fault-tolerance tallies, filled by the task waves."""
+
+    attempts: int = 0
+    retries: int = 0
+    resurrections: int = 0
+    speculative_wins: int = 0
+    timeout_trips: int = 0
 
 
 class ParallelExecutor(ExecutionBackend):
@@ -179,7 +271,10 @@ class ParallelExecutor(ExecutionBackend):
     payloads carry only what the task needs — the data block or bucket,
     the query, a *stateless* allocation callable
     (:meth:`~repro.partitioners.base.Partitioner.reduce_allocation`),
-    and the cost model — never the engine or partitioner state.
+    the cost model, and an optional injected fault — never the engine
+    or partitioner state.  Payloads double as the task's replicated
+    input: any attempt can be re-run from them deterministically (see
+    the module docstring for the retry/resurrection/speculation rules).
     """
 
     name = "parallel"
@@ -191,15 +286,34 @@ class ParallelExecutor(ExecutionBackend):
         run_seed: int = 0,
         fallback_to_serial: bool = True,
         mp_context: multiprocessing.context.BaseContext | None = None,
+        max_task_retries: int = 2,
+        task_timeout: float | None = None,
+        speculative: bool = False,
+        max_pool_resurrections: int = 2,
+        fault_injector: TaskFaultInjector | None = None,
     ) -> None:
         super().__init__(run_seed=run_seed)
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_task_retries < 0:
+            raise ValueError(
+                f"max_task_retries must be >= 0, got {max_task_retries}"
+            )
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+        if max_pool_resurrections < 0:
+            raise ValueError(
+                f"max_pool_resurrections must be >= 0, got {max_pool_resurrections}"
+            )
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.fallback_to_serial = fallback_to_serial
+        self.max_task_retries = max_task_retries
+        self.task_timeout = task_timeout
+        self.speculative = speculative
+        self.max_pool_resurrections = max_pool_resurrections
+        self.fault_injector = fault_injector
         self._mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
-        self._broken = False
 
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -243,6 +357,161 @@ class ParallelExecutor(ExecutionBackend):
             run_seed=self.run_seed,
         )
 
+    def _pickle_payloads(self, items: Sequence[tuple]) -> list[bytes]:
+        # Payloads are pickled *here*, in the driver, and shipped as
+        # bytes.  Letting the pool's queue-feeder thread pickle them
+        # instead would surface unpicklable payloads asynchronously
+        # and leave the pool wedged (its shutdown can deadlock after
+        # a feeder crash); pickling up front makes the failure
+        # synchronous, classifiable by raise-site, and pool-preserving.
+        try:
+            return [pickle.dumps(item) for item in items]
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise PayloadSerializationError(
+                f"task payload is not picklable — {type(exc).__name__}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def _run_tasks(
+        self,
+        worker: Callable[[bytes, int], object],
+        payloads: Sequence[bytes],
+        counters: _WaveCounters,
+    ) -> list:
+        """Run one wave of tasks with retries/resurrection/speculation.
+
+        Results come back indexed by submission position (= task id),
+        which is what keeps the downstream merge deterministic no matter
+        how attempts raced, failed, or were duplicated.
+        """
+        n = len(payloads)
+        results: list = [None] * n
+        done = [False] * n
+        attempts = [0] * n  # launches so far == next attempt index
+        failures = [0] * n  # failed attempts charged against the retry budget
+        outstanding = [0] * n  # live futures per task
+        deadlines = [float("inf")] * n
+        pending: dict[Future, tuple[int, bool]] = {}
+        to_submit: list[tuple[int, bool]] = [(tid, False) for tid in range(n)]
+        remaining = n
+        resurrections_left = self.max_pool_resurrections
+
+        def record_success(tid: int, future: Future, speculative: bool) -> None:
+            nonlocal remaining
+            results[tid] = future.result()
+            done[tid] = True
+            remaining -= 1
+            if speculative:
+                counters.speculative_wins += 1
+                self.speculative_wins += 1
+
+        def salvage_and_rebuild(broken: BrokenProcessPool) -> None:
+            # The pool died; every outstanding future is void.  Keep
+            # results that completed but were not yet observed, drop the
+            # corpse, and (within the resurrection budget) queue a fresh
+            # attempt for *only* the still-unfinished tasks.
+            nonlocal outstanding, resurrections_left
+            for future, (tid, speculative) in list(pending.items()):
+                if (
+                    future.done()
+                    and not future.cancelled()
+                    and future.exception() is None
+                    and not done[tid]
+                ):
+                    record_success(tid, future, speculative)
+            pending.clear()
+            outstanding = [0] * n
+            self.close()
+            if not remaining:
+                to_submit.clear()
+                return
+            if resurrections_left <= 0:
+                raise broken
+            resurrections_left -= 1
+            counters.resurrections += 1
+            self.pool_resurrections += 1
+            to_submit[:] = [(tid, False) for tid in range(n) if not done[tid]]
+
+        def launch_queued() -> None:
+            # A worker can die while the driver is still submitting, in
+            # which case ``pool.submit`` itself raises BrokenProcessPool
+            # synchronously — the same failure as a broken future, so it
+            # takes the same resurrection path instead of escaping the
+            # wave (which would needlessly degrade the batch to serial).
+            while to_submit:
+                tid, speculative = to_submit[0]
+                if done[tid]:
+                    to_submit.pop(0)
+                    continue
+                try:
+                    future = self._ensure_pool().submit(
+                        worker, payloads[tid], attempts[tid]
+                    )
+                except BrokenProcessPool as exc:
+                    salvage_and_rebuild(exc)  # refills/clears the queue
+                    continue
+                attempts[tid] += 1
+                outstanding[tid] += 1
+                counters.attempts += 1
+                self.task_attempts += 1
+                pending[future] = (tid, speculative)
+                if self.task_timeout is not None:
+                    deadlines[tid] = time.monotonic() + self.task_timeout
+                to_submit.pop(0)
+
+        while remaining:
+            launch_queued()
+            if not remaining:
+                break
+            timeout = None
+            if self.task_timeout is not None:
+                horizon = min(deadlines[t] for t in range(n) if not done[t])
+                timeout = max(0.0, horizon - time.monotonic())
+            finished, _ = wait(
+                list(pending), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not finished:
+                # A straggler deadline passed with nothing completing.
+                now = time.monotonic()
+                for tid in range(n):
+                    if done[tid] or now < deadlines[tid]:
+                        continue
+                    counters.timeout_trips += 1
+                    self.timeout_trips += 1
+                    deadlines[tid] = now + (self.task_timeout or 0.0)
+                    if self.speculative and outstanding[tid] < 2:
+                        # Duplicate the straggler: same payload, same
+                        # seed — either copy's result is byte-identical.
+                        to_submit.append((tid, True))
+                continue
+            broken: BrokenProcessPool | None = None
+            errors: list[tuple[int, BaseException]] = []
+            for future in finished:
+                tid, speculative = pending.pop(future)
+                outstanding[tid] -= 1
+                exc = future.exception()
+                if exc is None:
+                    if not done[tid]:  # a sibling copy may have won already
+                        record_success(tid, future, speculative)
+                elif isinstance(exc, BrokenProcessPool):
+                    broken = exc
+                elif not done[tid]:
+                    errors.append((tid, exc))
+            if broken is not None:
+                salvage_and_rebuild(broken)
+                continue
+            for tid, exc in errors:
+                if done[tid]:
+                    continue
+                failures[tid] += 1
+                if not _is_retryable_error(exc) or failures[tid] > self.max_task_retries:
+                    raise exc
+                counters.retries += 1
+                self.task_retries += 1
+                to_submit.append((tid, False))
+        return results
+
+    # ------------------------------------------------------------------
     def run_batch(
         self,
         batch: PartitionedBatch,
@@ -254,25 +523,22 @@ class ParallelExecutor(ExecutionBackend):
     ) -> BatchExecution:
         if num_reducers < 1:
             raise ValueError(f"num_reducers must be >= 1, got {num_reducers}")
-        if self._broken and self.fallback_to_serial:
-            # The pool died earlier in this run; stay serial for the rest.
-            return self._serial_fallback(
-                RuntimeError("process pool previously broke"),
-                batch, query, partitioner, num_reducers, cost_model, topology,
-            )
         allocate = partitioner.reduce_allocation()
         split = set(batch.split_keys)
         batch_index = batch.info.index
+        injector = self.fault_injector
+
+        def fault_for(kind: str, task_id: int) -> TaskFault | None:
+            if injector is None:
+                return None
+            return injector.fault_for(batch_index, kind, task_id)
+
+        counters = _WaveCounters()
         try:
-            # Payloads are pickled *here*, in the driver, and shipped as
-            # bytes.  Letting the pool's queue-feeder thread pickle them
-            # instead would surface unpicklable payloads asynchronously
-            # and leave the pool wedged (its shutdown can deadlock after
-            # a feeder crash); pickling up front makes the failure
-            # synchronous, classifiable, and pool-preserving.
-            map_payloads = [
-                pickle.dumps(
+            map_payloads = self._pickle_payloads(
+                [
                     (
+                        fault_for("map", block.index),
                         block,
                         query,
                         allocate,
@@ -281,19 +547,19 @@ class ParallelExecutor(ExecutionBackend):
                         cost_model,
                         derive_task_seed(self.run_seed, batch_index, "map", block.index),
                     )
-                )
-                for block in batch.blocks
-            ]
-            pool = self._ensure_pool()
-            map_futures: list[Future[MapTaskResult]] = [
-                pool.submit(_map_task_worker, payload) for payload in map_payloads
-            ]
-            # Gather in submission (= block id) order: deterministic merge.
-            map_results = [f.result() for f in map_futures]
-            buckets = shuffle_map_results(map_results, num_reducers, topology)
-            reduce_payloads = [
-                pickle.dumps(
+                    for block in batch.blocks
+                ]
+            )
+            map_results: list[MapTaskResult] = self._run_tasks(
+                _map_task_worker, map_payloads, counters
+            )
+            buckets: list[BucketInput] = shuffle_map_results(
+                map_results, num_reducers, topology
+            )
+            reduce_payloads = self._pickle_payloads(
+                [
                     (
+                        fault_for("reduce", bucket.bucket_index),
                         bucket,
                         query.aggregator,
                         cost_model,
@@ -301,17 +567,16 @@ class ParallelExecutor(ExecutionBackend):
                             self.run_seed, batch_index, "reduce", bucket.bucket_index
                         ),
                     )
-                )
-                for bucket in buckets
-            ]
-            reduce_futures: list[Future[ReduceTaskResult]] = [
-                pool.submit(_reduce_task_worker, payload)
-                for payload in reduce_payloads
-            ]
-            reduce_results = [f.result() for f in reduce_futures]
+                    for bucket in buckets
+                ]
+            )
+            reduce_results: list[ReduceTaskResult] = self._run_tasks(
+                _reduce_task_worker, reduce_payloads, counters
+            )
         except BaseException as exc:
             if isinstance(exc, BrokenProcessPool):
-                self._broken = True
+                # Drop the corpse; the *next* batch rebuilds a fresh pool
+                # lazily instead of pinning the rest of the run to serial.
                 self.close()
             if self.fallback_to_serial and _is_infrastructure_error(exc):
                 return self._serial_fallback(
@@ -319,7 +584,14 @@ class ParallelExecutor(ExecutionBackend):
                 )
             raise
         return BatchExecution(
-            map_results=map_results, reduce_results=reduce_results, backend=self.name
+            map_results=map_results,
+            reduce_results=reduce_results,
+            backend=self.name,
+            task_attempts=counters.attempts,
+            task_retries=counters.retries,
+            pool_resurrections=counters.resurrections,
+            speculative_wins=counters.speculative_wins,
+            timeout_trips=counters.timeout_trips,
         )
 
 
@@ -332,8 +604,19 @@ def make_executor(
     max_workers: int | None = None,
     run_seed: int = 0,
     fallback_to_serial: bool = True,
+    max_task_retries: int = 2,
+    task_timeout: float | None = None,
+    speculative: bool = False,
+    max_pool_resurrections: int = 2,
+    fault_injector: TaskFaultInjector | None = None,
 ) -> ExecutionBackend:
-    """Build an execution backend by registry name."""
+    """Build an execution backend by registry name.
+
+    The fault-tolerance knobs (retries, timeout, speculation,
+    resurrection budget, injector) only apply to the parallel backend;
+    the serial reference executes tasks inline where there is nothing to
+    retry, time out, or resurrect.
+    """
     if name == "serial":
         return SerialExecutor(run_seed=run_seed)
     if name == "parallel":
@@ -341,6 +624,11 @@ def make_executor(
             max_workers,
             run_seed=run_seed,
             fallback_to_serial=fallback_to_serial,
+            max_task_retries=max_task_retries,
+            task_timeout=task_timeout,
+            speculative=speculative,
+            max_pool_resurrections=max_pool_resurrections,
+            fault_injector=fault_injector,
         )
     raise ValueError(
         f"unknown executor {name!r}; available: {', '.join(EXECUTOR_NAMES)}"

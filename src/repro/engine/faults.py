@@ -3,22 +3,51 @@
 Section 8: "Exactly-once semantics is guaranteed by initially
 replicating the input batch. ... In case of losing a batch's state due
 to hardware failure, this state is recomputed using the replicated
-batched data."  The injector declares which batches lose their state;
-recovery recomputes the lost output from the replicated input and the
-query definition, and the result must be byte-identical to the lost
-one — the exactly-once property the tests assert.
+batched data."  Two granularities of failure are modelled:
+
+- **Batch-state loss** (:class:`FailureInjector`): a batch's output
+  vanishes after it was computed; recovery recomputes it from the
+  replicated input and must be byte-identical to the lost original —
+  the exactly-once property the tests assert.
+- **Task-attempt faults** (:class:`TaskFaultInjector`): an individual
+  Map/Reduce task *attempt* crashes, stalls, or kills its worker
+  process mid-batch.  The parallel execution backend
+  (:mod:`repro.engine.executors`) re-executes the task from its
+  replicated input — the pickled payload it already holds — under the
+  exact same :func:`~repro.engine.tasks.derive_task_seed` seed, so a
+  retried task is indistinguishable from a first-try success and runs
+  with injected task faults stay bit-identical to clean serial runs.
+
+Task faults are keyed on ``(batch_index, kind, task_id)`` and gated on
+the *attempt* number, which makes every injected failure deterministic:
+attempt 0 of a task configured with ``crashes=1`` always raises,
+attempt 1 always succeeds, in any process and on any backend schedule.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+import os
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Mapping, Optional
 
 from ..core.tuples import Key
 from ..queries.base import Query
 from .state import StateStore
 
-__all__ = ["FailureInjector", "RecoveryEvent", "recover_batch"]
+__all__ = [
+    "FailureInjector",
+    "RecoveryEvent",
+    "recover_batch",
+    "TransientTaskError",
+    "InjectedTaskFault",
+    "TaskFault",
+    "TaskFaultInjector",
+    "TASK_KINDS",
+]
+
+#: the two task kinds the execution layer dispatches
+TASK_KINDS: tuple[str, ...] = ("map", "reduce")
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,3 +97,129 @@ class FailureInjector:
         )
         self.events.append(event)
         return event
+
+
+# ----------------------------------------------------------------------
+# task-level fault injection (parallel backend)
+# ----------------------------------------------------------------------
+class TransientTaskError(RuntimeError):
+    """A task failure the execution backend may safely retry.
+
+    Raise this (or a subclass) from task code to signal a transient
+    condition — the parallel backend re-executes the attempt from its
+    replicated payload instead of propagating.  Non-transient exceptions
+    (application bugs) always propagate unchanged.
+    """
+
+
+class InjectedTaskFault(TransientTaskError):
+    """The synthetic crash a :class:`TaskFault` raises in a worker."""
+
+
+@dataclass(frozen=True, slots=True)
+class TaskFault:
+    """Deterministic fault plan for one ``(batch, kind, task)`` coordinate.
+
+    Each field gates on the attempt number, so the plan is a pure
+    function of ``attempt`` — no cross-process state needed:
+
+    - ``crashes``: attempts ``0..crashes-1`` raise :class:`InjectedTaskFault`.
+    - ``poisons``: attempts ``0..poisons-1`` kill the whole worker
+      process (``os._exit``), breaking the pool — the way to exercise
+      pool resurrection without real hardware failures.
+    - ``delay``/``delay_attempts``: attempts ``0..delay_attempts-1``
+      sleep ``delay`` real seconds first — the way to manufacture
+      stragglers for timeout/speculation testing.
+
+    Poison is checked first (a dead process can't sleep), then delay,
+    then crash, so a fault can model a slow-then-failing attempt.
+    """
+
+    crashes: int = 0
+    poisons: int = 0
+    delay: float = 0.0
+    delay_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.crashes < 0 or self.poisons < 0 or self.delay_attempts < 0:
+            raise ValueError("fault attempt counts must be >= 0")
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+
+    def apply(self, attempt: int) -> None:
+        """Inflict this fault on attempt ``attempt`` (runs in the worker)."""
+        if attempt < self.poisons:
+            os._exit(86)  # hard kill: no atexit, no cleanup — a real crash
+        if self.delay > 0 and attempt < self.delay_attempts:
+            time.sleep(self.delay)
+        if attempt < self.crashes:
+            raise InjectedTaskFault(
+                f"injected fault: attempt {attempt} of {self.crashes} doomed"
+            )
+
+
+class TaskFaultInjector:
+    """Deterministically faults chosen task attempts of a parallel run.
+
+    Faults are registered per ``(batch_index, kind, task_id)`` and
+    shipped *inside* the task payload, so they fire in the worker
+    process that actually runs the attempt — under any start method and
+    any scheduling order.  The injector object itself stays on the
+    driver; only the small frozen :class:`TaskFault` records travel.
+    """
+
+    def __init__(self) -> None:
+        self._faults: dict[tuple[int, str, int], TaskFault] = {}
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    @staticmethod
+    def _check(kind: str, times: int) -> None:
+        if kind not in TASK_KINDS:
+            raise ValueError(f"kind must be one of {TASK_KINDS}, got {kind!r}")
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+
+    def _merge(self, key: tuple[int, str, int], **changes: Any) -> None:
+        self._faults[key] = replace(self._faults.get(key, TaskFault()), **changes)
+
+    def crash(
+        self, batch_index: int, kind: str, task_id: int, *, times: int = 1
+    ) -> "TaskFaultInjector":
+        """Make the first ``times`` attempts raise :class:`InjectedTaskFault`."""
+        self._check(kind, times)
+        self._merge((batch_index, kind, task_id), crashes=times)
+        return self
+
+    def poison(
+        self, batch_index: int, kind: str, task_id: int, *, times: int = 1
+    ) -> "TaskFaultInjector":
+        """Make the first ``times`` attempts kill their worker process."""
+        self._check(kind, times)
+        self._merge((batch_index, kind, task_id), poisons=times)
+        return self
+
+    def delay(
+        self,
+        batch_index: int,
+        kind: str,
+        task_id: int,
+        *,
+        seconds: float,
+        attempts: int = 1,
+    ) -> "TaskFaultInjector":
+        """Make the first ``attempts`` attempts sleep ``seconds`` first."""
+        self._check(kind, attempts)
+        if seconds <= 0:
+            raise ValueError(f"seconds must be > 0, got {seconds}")
+        self._merge(
+            (batch_index, kind, task_id), delay=seconds, delay_attempts=attempts
+        )
+        return self
+
+    def fault_for(
+        self, batch_index: int, kind: str, task_id: int
+    ) -> Optional[TaskFault]:
+        """The fault plan for one coordinate, or ``None``."""
+        return self._faults.get((batch_index, kind, task_id))

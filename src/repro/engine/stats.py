@@ -59,6 +59,15 @@ class BatchRecord:
     #: measured per-task wall-clock (real seconds, not simulated time)
     map_wall_seconds: tuple[float, ...] = field(default=(), compare=False)
     reduce_wall_seconds: tuple[float, ...] = field(default=(), compare=False)
+    #: fault-tolerance tallies from the dispatch layer.  Excluded from
+    #: equality like the other dispatch-side fields: a run that needed
+    #: retries must still compare equal, record for record, to a clean
+    #: run — that equality *is* the exactly-once evidence.
+    task_attempts: int = field(default=0, compare=False)
+    task_retries: int = field(default=0, compare=False)
+    pool_resurrections: int = field(default=0, compare=False)
+    speculative_wins: int = field(default=0, compare=False)
+    timeout_trips: int = field(default=0, compare=False)
 
     @property
     def batch_interval(self) -> float:
@@ -114,10 +123,20 @@ class RunStats:
         return sum(r.tuple_count for r in self.records)
 
     def throughput(self) -> float:
-        """Processed tuples per second of simulated batching time."""
+        """Processed tuples per second of simulated time.
+
+        The span runs from the first interval's start to whichever came
+        last: the final heartbeat or the final batch's actual finish.
+        Stopping at the heartbeat alone would divide the tuple count by
+        less time than the run really took whenever processing lagged
+        the intervals (queue delay > 0, Cases II-IV of Figure 2) —
+        overstating throughput exactly for the overloaded runs where the
+        number matters most.
+        """
         if not self.records:
             return 0.0
-        span = self.records[-1].heartbeat - self.records[0].t_start
+        last = self.records[-1]
+        span = max(last.exec_finish, last.heartbeat) - self.records[0].t_start
         return self.total_tuples / span if span > 0 else 0.0
 
     # -- latency / load ---------------------------------------------------
@@ -173,6 +192,27 @@ class RunStats:
     def backends_used(self) -> tuple[str, ...]:
         """Distinct execution backends that processed batches, sorted."""
         return tuple(sorted({r.backend for r in self.records}))
+
+    # -- fault tolerance (parallel dispatch) ------------------------------
+    def total_task_attempts(self) -> int:
+        """Task attempts launched on worker pools, including duplicates."""
+        return sum(r.task_attempts for r in self.records)
+
+    def total_task_retries(self) -> int:
+        """Attempts re-executed after a transient task failure."""
+        return sum(r.task_retries for r in self.records)
+
+    def total_pool_resurrections(self) -> int:
+        """Times a broken process pool was rebuilt mid-batch."""
+        return sum(r.pool_resurrections for r in self.records)
+
+    def total_speculative_wins(self) -> int:
+        """Straggler duplicates that delivered before the original copy."""
+        return sum(r.speculative_wins for r in self.records)
+
+    def total_timeout_trips(self) -> int:
+        """Per-task timeout deadlines that expired with the task running."""
+        return sum(r.timeout_trips for r in self.records)
 
     # -- figure extracts ----------------------------------------------
     def reduce_time_series(self) -> list[tuple[int, float, float]]:

@@ -171,6 +171,14 @@ class BatchExecution:
     reduce_results: list[ReduceTaskResult]
     #: which execution backend produced this batch ("serial"/"parallel")
     backend: str = "serial"
+    #: fault-tolerance tallies for this batch's dispatch (the parallel
+    #: backend fills them; the serial reference has nothing to retry,
+    #: resurrect, or speculate, so they stay 0)
+    task_attempts: int = 0
+    task_retries: int = 0
+    pool_resurrections: int = 0
+    speculative_wins: int = 0
+    timeout_trips: int = 0
 
     @property
     def map_durations(self) -> list[float]:

@@ -107,6 +107,45 @@ def test_overflow_fallback_when_everything_is_full():
     assert "small" in out.assignment
 
 
+def test_zero_size_clusters_round_robin_for_cardinality_balance():
+    """Regression: zero-size clusters carry no load signal, so WorstFit
+    used to dump them all on one bucket once capacities were exhausted —
+    worst-case *cardinality* imbalance for keys that still cost a reducer
+    slot each.  They now round-robin: BCI (bucket cardinality imbalance,
+    the second metric Algorithm 3 balances) stays zero."""
+    r = 4
+    out = ReduceBucketAllocator(r).allocate(_clusters({f"z{i}": 0 for i in range(8)}))
+    counts = [0] * r
+    for bucket in out.assignment.values():
+        counts[bucket] += 1
+    mean = sum(counts) / r
+    assert max(counts) - mean == 0  # BCI == 0: perfectly even counts
+    assert counts == [2, 2, 2, 2]
+    assert out.bucket_loads == [0, 0, 0, 0]
+
+
+def test_zero_size_clusters_mixed_with_sized_ones():
+    r = 3
+    sizes = {f"k{i}": 6 for i in range(3)}
+    sizes.update({f"z{i}": 0 for i in range(6)})
+    out = ReduceBucketAllocator(r).allocate(_clusters(sizes))
+    assert set(out.assignment) == set(sizes)
+    assert sum(out.bucket_loads) == 18
+    counts = [0] * r
+    for bucket in out.assignment.values():
+        counts[bucket] += 1
+    # 1 sized + 2 zero-size clusters per bucket: BCI == 0
+    assert max(counts) - sum(counts) / r == 0
+
+
+def test_zero_size_round_robin_is_deterministic():
+    sizes = {f"z{i}": 0 for i in range(7)}
+    sizes["big"] = 10
+    a = ReduceBucketAllocator(3).allocate(_clusters(sizes))
+    b = ReduceBucketAllocator(3).allocate(_clusters(sizes))
+    assert a.assignment == b.assignment
+
+
 def test_hash_allocate_matches_hash_function():
     clusters = _clusters({"a": 5, "b": 3})
     out = hash_allocate(clusters, 4)

@@ -177,6 +177,20 @@ def test_lossy_counting_validation():
         sketch.heavy_hitters(1.5)
 
 
+def test_lossy_counting_rejects_threshold_below_epsilon():
+    """Regression: a threshold below epsilon made the support cut
+    ``(threshold - epsilon) * N`` non-positive, silently returning every
+    tracked key as a "heavy hitter".  The guarantee only holds from
+    epsilon up, so the call must refuse instead of mislead."""
+    sketch = LossyCountingSketch(epsilon=0.1)
+    for i in range(100):
+        sketch.add(f"k{i % 10}")
+    with pytest.raises(ValueError, match="epsilon"):
+        sketch.heavy_hitters(0.05)
+    # the boundary itself is legal
+    assert isinstance(sketch.heavy_hitters(0.1), list)
+
+
 def test_lossy_counting_clear():
     sketch = LossyCountingSketch(0.1)
     sketch.add("a", count=5)

@@ -1,4 +1,6 @@
-"""Execution backends: seeds, registry, fallback policy, pool lifecycle."""
+"""Execution backends: seeds, registry, fallback policy, pool lifecycle,
+and the task-level fault-tolerance layer (retries, pool resurrection,
+straggler speculation)."""
 
 from __future__ import annotations
 
@@ -6,15 +8,19 @@ import pickle
 
 import pytest
 
+from concurrent.futures.process import BrokenProcessPool
+
 from repro.core.batch import BatchInfo
 from repro.core.tuples import StreamTuple
 from repro.engine.executors import (
     EXECUTOR_NAMES,
     ParallelExecutor,
+    PayloadSerializationError,
     SerialExecutor,
     _is_infrastructure_error,
     make_executor,
 )
+from repro.engine.faults import InjectedTaskFault, TaskFaultInjector, TransientTaskError
 from repro.engine.tasks import TaskCostModel, derive_task_seed, execute_batch_tasks
 from repro.partitioners import HashPartitioner
 from repro.queries.base import Query, SumAggregator
@@ -173,15 +179,46 @@ def test_application_errors_propagate_instead_of_falling_back():
 
 
 def test_infrastructure_error_classifier():
+    """Classification is by raise-site, not message text."""
     assert _is_infrastructure_error(pickle.PicklingError("x"))
-    assert _is_infrastructure_error(TypeError("cannot pickle '_thread.lock'"))
-    assert _is_infrastructure_error(
+    assert _is_infrastructure_error(PayloadSerializationError("unpicklable"))
+    assert _is_infrastructure_error(BrokenProcessPool("pool died"))
+    # a *worker-raised* TypeError/AttributeError is the query's own bug,
+    # even when its message happens to mention pickle
+    assert not _is_infrastructure_error(TypeError("cannot pickle '_thread.lock'"))
+    assert not _is_infrastructure_error(
         AttributeError("Can't pickle local object 'f.<locals>.<lambda>'")
     )
     assert not _is_infrastructure_error(TypeError("bad operand type"))
     assert not _is_infrastructure_error(AttributeError("no attribute 'foo'"))
     assert not _is_infrastructure_error(RuntimeError("boom"))
     assert not _is_infrastructure_error(AssertionError("key locality violated"))
+
+
+def _raise_pickle_flavoured_typeerror(key, value):
+    raise TypeError("cannot pickle this value (application bug)")
+
+
+def _raise_pickle_flavoured_attributeerror(key, value):
+    raise AttributeError("Can't pickle local object (application bug)")
+
+
+@pytest.mark.parametrize(
+    "map_fn, exc_type",
+    [
+        (_raise_pickle_flavoured_typeerror, TypeError),
+        (_raise_pickle_flavoured_attributeerror, AttributeError),
+    ],
+)
+def test_worker_raised_pickle_flavoured_errors_propagate(map_fn, exc_type):
+    """A query bug whose message mentions "pickle" must not be swallowed
+    into the serial fallback — the payload pickled fine on the driver."""
+    batch, part = _batch()
+    query = _query(map_fn=map_fn)
+    with ParallelExecutor(2) as backend:
+        with pytest.raises(exc_type, match="application bug"):
+            backend.run_batch(batch, query, part, 2, TaskCostModel())
+    assert backend.fallbacks == 0
 
 
 def test_parallel_rejects_zero_reducers():
@@ -195,3 +232,172 @@ def test_close_is_idempotent():
     backend = ParallelExecutor(2)
     backend.close()
     backend.close()
+
+
+# ----------------------------------------------------------------------
+# task-level fault tolerance
+# ----------------------------------------------------------------------
+def _reference(batch, part, query, reducers=2):
+    return execute_batch_tasks(batch, query, part, reducers, TaskCostModel())
+
+
+def test_injected_crash_is_retried_with_identical_result():
+    batch, part = _batch()
+    query = _query()
+    injector = TaskFaultInjector().crash(0, "map", 0, times=2)
+    with ParallelExecutor(2, fault_injector=injector, max_task_retries=2) as backend:
+        execution = backend.run_batch(batch, query, part, 2, TaskCostModel())
+    assert execution.backend == "parallel"
+    assert execution.task_retries == 2
+    # 3 map tasks + 2 retried map attempts + 2 reduce tasks
+    assert execution.task_attempts == len(batch.blocks) + 2 + 2
+    assert backend.task_retries == 2
+    assert backend.fallbacks == 0
+    reference = _reference(batch, part, query)
+    assert pickle.dumps(execution.batch_output()) == pickle.dumps(
+        reference.batch_output()
+    )
+    assert execution.map_durations == reference.map_durations
+
+
+def test_retried_task_reuses_its_seed():
+    batch, part = _batch()
+    query = _query()
+    injector = TaskFaultInjector().crash(0, "reduce", 1, times=1)
+    with ParallelExecutor(2, fault_injector=injector, run_seed=7) as backend:
+        execution = backend.run_batch(batch, query, part, 3, TaskCostModel())
+    for r in execution.reduce_results:
+        assert r.task_seed == derive_task_seed(7, 0, "reduce", r.bucket_index)
+
+
+def test_retries_exhausted_propagates_the_fault():
+    batch, part = _batch()
+    query = _query()
+    injector = TaskFaultInjector().crash(0, "map", 1, times=5)
+    with ParallelExecutor(2, fault_injector=injector, max_task_retries=1) as backend:
+        with pytest.raises(InjectedTaskFault):
+            backend.run_batch(batch, query, part, 2, TaskCostModel())
+    # an injected fault is transient, not infrastructure: no serial mask
+    assert backend.fallbacks == 0
+    assert backend.task_retries == 1
+
+
+def _raise_transient(key, value):
+    raise TransientTaskError("flaky dependency")
+
+
+def test_transient_application_error_consumes_budget_then_propagates():
+    """TransientTaskError is retried; a deterministic one eventually
+    propagates instead of being masked by the serial fallback."""
+    batch, part = _batch()
+    query = _query(map_fn=_raise_transient)
+    with ParallelExecutor(2, max_task_retries=2) as backend:
+        with pytest.raises(TransientTaskError, match="flaky dependency"):
+            backend.run_batch(batch, query, part, 2, TaskCostModel())
+    # every map task fails deterministically; at least one task had to
+    # burn its whole budget before the propagation (others race freely)
+    assert 2 <= backend.task_retries <= 2 * len(batch.blocks)
+    assert backend.fallbacks == 0
+
+
+def test_pool_resurrection_resumes_the_same_batch():
+    """A poisoned worker breaks the pool mid-wave; the pool is rebuilt
+    and only unfinished tasks rerun — the batch still completes parallel."""
+    batch, part = _batch()
+    query = _query()
+    injector = TaskFaultInjector().poison(0, "map", 1)
+    with ParallelExecutor(2, fault_injector=injector) as backend:
+        execution = backend.run_batch(batch, query, part, 2, TaskCostModel())
+        assert execution.backend == "parallel"
+        assert execution.pool_resurrections == 1
+        assert backend.pool_resurrections == 1
+        assert backend.fallbacks == 0
+        reference = _reference(batch, part, query)
+        assert pickle.dumps(execution.batch_output()) == pickle.dumps(
+            reference.batch_output()
+        )
+        # the replacement pool is healthy for the next batch
+        batch2 = part.partition(_tuples(), 3, BatchInfo(1, 1.0, 2.0))
+        execution2 = backend.run_batch(batch2, query, part, 2, TaskCostModel())
+        assert execution2.backend == "parallel"
+        assert execution2.pool_resurrections == 0
+
+
+def test_pool_break_no_longer_pins_the_run_to_serial():
+    """Regression: one BrokenProcessPool used to degrade every later
+    batch to serial.  With the resurrection budget exhausted the broken
+    batch falls back — and the *next* batch runs parallel again."""
+    batch, part = _batch()
+    query = _query()
+    injector = TaskFaultInjector().poison(0, "map", 0)
+    with ParallelExecutor(
+        2, fault_injector=injector, max_pool_resurrections=0
+    ) as backend:
+        execution = backend.run_batch(batch, query, part, 2, TaskCostModel())
+        assert execution.backend == "serial"
+        assert backend.fallbacks == 1
+        assert "BrokenProcessPool" in backend.last_fallback_reason
+        batch2 = part.partition(_tuples(), 3, BatchInfo(1, 1.0, 2.0))
+        execution2 = backend.run_batch(batch2, query, part, 2, TaskCostModel())
+        assert execution2.backend == "parallel"
+        assert backend.fallbacks == 1  # no new fallback
+
+
+def test_straggler_speculation_races_a_duplicate():
+    batch, part = _batch()
+    query = _query()
+    injector = TaskFaultInjector().delay(0, "map", 0, seconds=0.8)
+    with ParallelExecutor(
+        3, fault_injector=injector, task_timeout=0.05, speculative=True
+    ) as backend:
+        execution = backend.run_batch(batch, query, part, 2, TaskCostModel())
+    assert execution.timeout_trips >= 1
+    assert execution.speculative_wins >= 1
+    assert backend.speculative_wins >= 1
+    reference = _reference(batch, part, query)
+    assert pickle.dumps(execution.batch_output()) == pickle.dumps(
+        reference.batch_output()
+    )
+
+
+def test_timeout_trips_are_counted_without_speculation():
+    batch, part = _batch()
+    query = _query()
+    injector = TaskFaultInjector().delay(0, "map", 0, seconds=0.3)
+    with ParallelExecutor(
+        2, fault_injector=injector, task_timeout=0.05, speculative=False
+    ) as backend:
+        execution = backend.run_batch(batch, query, part, 2, TaskCostModel())
+    assert execution.timeout_trips >= 1
+    assert execution.speculative_wins == 0
+    assert execution.task_attempts == len(batch.blocks) + 2  # no duplicates
+
+
+def test_parallel_rejects_bad_fault_tolerance_knobs():
+    with pytest.raises(ValueError):
+        ParallelExecutor(2, max_task_retries=-1)
+    with pytest.raises(ValueError):
+        ParallelExecutor(2, task_timeout=0.0)
+    with pytest.raises(ValueError):
+        ParallelExecutor(2, max_pool_resurrections=-1)
+
+
+def test_make_executor_passes_fault_tolerance_knobs():
+    injector = TaskFaultInjector()
+    backend = make_executor(
+        "parallel",
+        max_workers=2,
+        max_task_retries=5,
+        task_timeout=1.5,
+        speculative=True,
+        max_pool_resurrections=7,
+        fault_injector=injector,
+    )
+    try:
+        assert backend.max_task_retries == 5
+        assert backend.task_timeout == 1.5
+        assert backend.speculative is True
+        assert backend.max_pool_resurrections == 7
+        assert backend.fault_injector is injector
+    finally:
+        backend.close()

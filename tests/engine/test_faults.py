@@ -2,10 +2,19 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core.tuples import StreamTuple
-from repro.engine.faults import FailureInjector, recover_batch
+from repro.engine.faults import (
+    FailureInjector,
+    InjectedTaskFault,
+    TaskFault,
+    TaskFaultInjector,
+    TransientTaskError,
+    recover_batch,
+)
 from repro.engine.state import StateStore
 from repro.queries.base import Query, SumAggregator
 
@@ -69,3 +78,82 @@ def test_injector_empty_by_default():
     injector = FailureInjector()
     assert not injector.should_fail(0)
     assert injector.events == []
+
+
+# ----------------------------------------------------------------------
+# task-level fault injection
+# ----------------------------------------------------------------------
+def test_task_fault_crash_gates_on_attempt():
+    fault = TaskFault(crashes=2)
+    with pytest.raises(InjectedTaskFault):
+        fault.apply(0)
+    with pytest.raises(InjectedTaskFault):
+        fault.apply(1)
+    fault.apply(2)  # past the doomed attempts: no-op
+
+
+def test_injected_fault_is_transient():
+    """The synthetic crash must count as retryable for the backend."""
+    assert issubclass(InjectedTaskFault, TransientTaskError)
+
+
+def test_task_fault_delay_gates_on_attempt():
+    fault = TaskFault(delay=0.05, delay_attempts=1)
+    start = time.perf_counter()
+    fault.apply(0)
+    assert time.perf_counter() - start >= 0.05
+    start = time.perf_counter()
+    fault.apply(1)  # past the delayed attempts: immediate
+    assert time.perf_counter() - start < 0.05
+
+
+def test_task_fault_poison_past_budget_is_noop():
+    # attempt >= poisons must NOT os._exit — the retried attempt survives
+    TaskFault(poisons=1).apply(1)
+
+
+def test_task_fault_validation():
+    with pytest.raises(ValueError):
+        TaskFault(crashes=-1)
+    with pytest.raises(ValueError):
+        TaskFault(delay=-0.1)
+
+
+def test_task_fault_injector_registers_and_looks_up():
+    injector = (
+        TaskFaultInjector()
+        .crash(0, "map", 1, times=2)
+        .poison(3, "reduce", 0)
+        .delay(1, "map", 2, seconds=0.5)
+    )
+    assert len(injector) == 3
+    assert injector.fault_for(0, "map", 1) == TaskFault(crashes=2)
+    assert injector.fault_for(3, "reduce", 0) == TaskFault(poisons=1)
+    assert injector.fault_for(1, "map", 2) == TaskFault(
+        delay=0.5, delay_attempts=1
+    )
+    assert injector.fault_for(0, "map", 0) is None
+    assert injector.fault_for(0, "reduce", 1) is None
+
+
+def test_task_fault_injector_merges_same_coordinate():
+    """Chained registrations on one coordinate compose into one plan."""
+    injector = (
+        TaskFaultInjector()
+        .delay(0, "map", 0, seconds=0.2)
+        .crash(0, "map", 0, times=1)
+    )
+    assert len(injector) == 1
+    assert injector.fault_for(0, "map", 0) == TaskFault(
+        crashes=1, delay=0.2, delay_attempts=1
+    )
+
+
+def test_task_fault_injector_rejects_bad_arguments():
+    injector = TaskFaultInjector()
+    with pytest.raises(ValueError, match="kind"):
+        injector.crash(0, "shuffle", 0)
+    with pytest.raises(ValueError, match="times"):
+        injector.crash(0, "map", 0, times=0)
+    with pytest.raises(ValueError, match="seconds"):
+        injector.delay(0, "map", 0, seconds=0.0)

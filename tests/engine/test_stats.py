@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.engine.stats import BatchRecord, RunStats, percentile
@@ -55,9 +57,80 @@ def test_run_stats_throughput():
     stats = RunStats(batch_interval=1.0)
     for i in range(4):
         stats.add(_record(i, tuples=200))
-    # 800 tuples over 4 seconds of batching
-    assert stats.throughput() == pytest.approx(200.0)
+    # 800 tuples; the last batch cuts off at 4.0s but its 0.5s of
+    # processing only finishes at 4.5s — the span covers the real finish
+    assert stats.throughput() == pytest.approx(800 / 4.5)
     assert stats.total_tuples == 800
+
+
+def test_run_stats_throughput_spans_real_finish_when_overloaded():
+    """Regression: an overloaded run (queue delay growing, Cases II-IV)
+    must divide by the time processing actually took.  The old span
+    stopped at the last heartbeat, overstating throughput exactly for
+    the runs where the number matters most."""
+    stats = RunStats(batch_interval=1.0)
+    for i in range(4):
+        stats.add(_record(i, tuples=200, queue=1.0 * i))
+    # last batch: heartbeat at 4.0s, but execution starts 3.0s late and
+    # finishes at 4.0 + 3.0 + 0.5 = 7.5s
+    assert stats.throughput() == pytest.approx(800 / 7.5)
+
+
+def test_run_stats_throughput_early_finish_spans_heartbeat():
+    """A batch that finishes before its interval ends still accounts the
+    full interval: the system cannot emit faster than tuples arrive."""
+    stats = RunStats(batch_interval=1.0)
+    stats.add(
+        BatchRecord(
+            index=0,
+            t_start=0.0,
+            heartbeat=1.0,
+            ready_at=0.5,
+            exec_start=0.5,
+            exec_finish=0.8,  # done before the interval's cut-off
+            processing_time=0.3,
+            tuple_count=100,
+            key_count=10,
+            map_tasks=4,
+            reduce_tasks=2,
+            map_durations=(0.1, 0.2),
+            reduce_durations=(0.1, 0.2),
+            bucket_weights=(50, 50),
+            partition_elapsed=0.01,
+        )
+    )
+    assert stats.throughput() == pytest.approx(100 / 1.0)
+
+
+def test_run_stats_fault_tolerance_totals():
+    stats = RunStats(batch_interval=1.0)
+    stats.add(_record(0))
+    stats.add(
+        replace(
+            _record(1),
+            task_attempts=6,
+            task_retries=2,
+            pool_resurrections=1,
+            speculative_wins=1,
+            timeout_trips=3,
+        )
+    )
+    assert stats.total_task_attempts() == 6
+    assert stats.total_task_retries() == 2
+    assert stats.total_pool_resurrections() == 1
+    assert stats.total_speculative_wins() == 1
+    assert stats.total_timeout_trips() == 3
+
+
+def test_fault_tolerance_counters_do_not_affect_equality():
+    """The counters are dispatch-side observations: a faulted run's
+    records must still compare equal to a clean run's (the differential
+    harness depends on this)."""
+    clean = _record(0)
+    faulted = replace(
+        clean, task_attempts=9, task_retries=3, pool_resurrections=1
+    )
+    assert faulted == clean
 
 
 def test_run_stats_latency_aggregates():
