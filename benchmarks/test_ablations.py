@@ -215,7 +215,7 @@ def test_ablation_early_release_slack(benchmark, record_experiment):
             window = ctl.window_for(INFO)
             for _ in range(7):
                 batch = part.partition(tuples, 8, INFO)
-                ctl.record(batch.partition_elapsed, window)
+                ctl.record(batch.plan_elapsed, window)
             elapsed = [e for e, _ in ctl.observations]
             rows.append(
                 {

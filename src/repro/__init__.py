@@ -15,6 +15,9 @@ Public API layout:
 - :mod:`repro.workloads` — dataset generators and arrival processes.
 - :mod:`repro.bench` — the experiment harness regenerating every table
   and figure of the evaluation.
+- :mod:`repro.obs` — optional zero-dependency observability: span
+  tracing, a metrics registry, and Chrome-trace/JSONL/Prometheus
+  exporters (enable via ``EngineConfig.observability``).
 
 Quickstart::
 
@@ -48,6 +51,7 @@ from .core import (
     evaluate_partition,
 )
 from .engine import EngineConfig, MicroBatchEngine, RunResult
+from .obs import ObservabilityConfig, RunObservability
 from .partitioners import make_partitioner
 from .queries import Query, WindowSpec
 
@@ -63,11 +67,13 @@ __all__ = [
     "MPIWeights",
     "MicroBatchAccumulator",
     "MicroBatchEngine",
+    "ObservabilityConfig",
     "PartitionedBatch",
     "PromptBatchPartitioner",
     "PromptConfig",
     "Query",
     "ReduceBucketAllocator",
+    "RunObservability",
     "RunResult",
     "StreamTuple",
     "WindowSpec",

@@ -520,9 +520,13 @@ def fig14b_partition_overhead(
                 "Rate": rate,
                 "BatchTuples": len(tuples),
                 "Keys": len(batch.distinct_keys()),
-                "Alg2WallSeconds": batch.partition_elapsed,
+                "Alg1WallSeconds": batch.buffer_elapsed,
+                "Alg2WallSeconds": batch.plan_elapsed,
                 "TotalWallSeconds": wall,
-                "OverheadPct": 100.0 * batch.partition_elapsed / batch_interval,
+                # Figure 14b charges only the Algorithm 2 plan step: the
+                # buffering pass replaces ordinary ingestion work and
+                # overlaps the interval rather than adding to it.
+                "OverheadPct": 100.0 * batch.plan_elapsed / batch_interval,
             }
         )
     return rows

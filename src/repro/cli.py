@@ -7,16 +7,23 @@ Usage::
     python -m repro run fig10 --dataset tpch
     python -m repro run fig11d --quick        # reduced-scale sweep
     python -m repro quickstart                # the quickstart demo
+    python -m repro quickstart --trace t.json --metrics m.prom
+    python -m repro trace summarize t.json    # per-phase breakdown
 
 Each ``run`` prints the paper-style table and writes JSON next to the
-benchmarks (``benchmarks/results/``).
+benchmarks (``benchmarks/results/``).  All user-facing output goes
+through a ``logging``-based reporter: ``--quiet`` silences it and
+``--log-level`` additionally streams package diagnostics to stderr,
+while the default level keeps stdout byte-identical to the historical
+``print`` output.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from .bench import (
     bench_parallel_speedup,
@@ -32,8 +39,60 @@ from .bench import (
     save_results,
     table1_dataset_stats,
 )
+from .obs import ObservabilityConfig, format_trace_summary, summarize_trace
 
 __all__ = ["main", "EXPERIMENTS"]
+
+log = logging.getLogger(__name__)
+
+#: logger carrying user-facing CLI output (bare messages to stdout)
+_REPORTER = "repro.cli.report"
+
+
+def _configure_logging(args: argparse.Namespace) -> logging.Logger:
+    """(Re)build the CLI logging pipeline for one invocation.
+
+    The reporter logger writes bare messages to stdout — byte-identical
+    to the former ``print`` calls at the default level — so library
+    consumers can silence or redirect CLI output like any other logger.
+    ``--quiet`` raises the reporter threshold; ``--log-level`` attaches
+    a stderr diagnostics handler to the package logger.  Handlers are
+    rebuilt on every call so repeated ``main()`` invocations (e.g. the
+    test suite) never stack duplicates.
+    """
+    reporter = logging.getLogger(_REPORTER)
+    for handler in list(reporter.handlers):
+        reporter.removeHandler(handler)
+    out = logging.StreamHandler(sys.stdout)
+    out.setFormatter(logging.Formatter("%(message)s"))
+    reporter.addHandler(out)
+    reporter.propagate = False
+    quiet = getattr(args, "quiet", False)
+    reporter.setLevel(logging.ERROR if quiet else logging.INFO)
+
+    package = logging.getLogger("repro")
+    for handler in list(package.handlers):
+        if getattr(handler, "_repro_cli", False):
+            package.removeHandler(handler)
+    level_name = getattr(args, "log_level", None)
+    if level_name:
+        diag = logging.StreamHandler(sys.stderr)
+        diag.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        diag._repro_cli = True  # type: ignore[attr-defined]
+        package.addHandler(diag)
+        package.setLevel(getattr(logging, level_name.upper()))
+    return reporter
+
+
+def _obs_config(args: argparse.Namespace) -> Optional[ObservabilityConfig]:
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
+    jsonl = getattr(args, "jsonl", None)
+    if not (trace or metrics or jsonl):
+        return None
+    return ObservabilityConfig(
+        trace_path=trace, metrics_path=metrics, jsonl_path=jsonl
+    )
 
 
 def _run_table1(args: argparse.Namespace) -> tuple[str, Any]:
@@ -121,6 +180,67 @@ def _run_speedup(args: argparse.Namespace) -> tuple[str, Any]:
     )
 
 
+def _run_quickstart(args: argparse.Namespace) -> tuple[str, Any]:
+    """The quickstart workload, shared by ``quickstart`` and ``run``.
+
+    Flags absent from the invoking subparser fall back to the
+    ``quickstart`` defaults, so ``repro run quickstart --trace out.json``
+    exercises the same engine path with observability attached.
+    """
+    # Local import: keeps `repro list` fast and the engine optional.
+    from repro import EngineConfig, MicroBatchEngine, make_partitioner
+    from repro.queries import select_top_k, wordcount_query
+    from repro.workloads import tweets_source
+
+    engine = MicroBatchEngine(
+        make_partitioner("prompt"),
+        wordcount_query(window_length=10.0),
+        EngineConfig(
+            batch_interval=1.0,
+            num_blocks=8,
+            num_reducers=8,
+            executor=getattr(args, "backend", "serial"),
+            executor_workers=getattr(args, "workers", None),
+            max_task_retries=getattr(args, "task_retries", 2),
+            task_timeout=getattr(args, "task_timeout", None),
+            speculative_execution=getattr(args, "speculate", False),
+            observability=_obs_config(args),
+        ),
+    )
+    result = engine.run(tweets_source(rate=5_000.0, seed=42), num_batches=12)
+    lines = [f"backend: {result.backend_name}"]
+    if result.backend_name == "parallel":
+        lines.append(
+            "fault tolerance: "
+            f"{result.executor_task_attempts} attempts, "
+            f"{result.executor_task_retries} retries, "
+            f"{result.executor_pool_resurrections} pool resurrections, "
+            f"{result.executor_speculative_wins} speculative wins, "
+            f"{result.executor_timeout_trips} timeout trips, "
+            f"{result.executor_fallbacks} serial fallbacks"
+        )
+    lines.append(f"throughput: {result.stats.throughput():,.0f} tuples/s")
+    lines.append(f"mean latency: {result.stats.mean_latency():.3f}s")
+    top = select_top_k(result.final_window_answer(), 5)
+    for word, count in top:
+        lines.append(f"  {word:>8}  {count}")
+    obs = result.observability
+    if obs is not None and obs.config is not None and obs.enabled:
+        if obs.config.trace_path:
+            lines.append(f"trace written to {obs.config.trace_path}")
+        if obs.config.metrics_path:
+            lines.append(f"metrics written to {obs.config.metrics_path}")
+        if obs.config.jsonl_path:
+            lines.append(f"jsonl written to {obs.config.jsonl_path}")
+    payload = {
+        "backend": result.backend_name,
+        "throughput": result.stats.throughput(),
+        "mean_latency": result.stats.mean_latency(),
+        "top_words": [[word, count] for word, count in top],
+    }
+    return "\n".join(lines), payload
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], tuple[str, Any]]]] = {
     "table1": ("Table 1 — dataset properties", _run_table1),
     "fig6": ("Figure 6 — B-BPFI assignment trade-offs", _run_fig6),
@@ -132,6 +252,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], tuple[str, Any]
     "fig14a": ("Figure 14a — post-sort throughput", _run_fig14a),
     "fig14b": ("Figure 14b — partitioning overhead", _run_fig14b),
     "speedup": ("Serial vs parallel execution backend wall-clock", _run_speedup),
+    "quickstart": ("Quickstart demo — engine run (supports --trace/--metrics)", _run_quickstart),
 }
 
 
@@ -140,11 +261,47 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Prompt (SIGMOD 2020) reproduction experiment runner",
     )
+
+    log_flags = argparse.ArgumentParser(add_help=False)
+    log_flags.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="stream repro.* diagnostics to stderr at this level",
+    )
+    log_flags.add_argument(
+        "--quiet", action="store_true", help="suppress normal stdout reporting"
+    )
+
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON of the run (chrome://tracing)",
+    )
+    obs_flags.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a Prometheus-text metrics snapshot of the run",
+    )
+    obs_flags.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default=None,
+        help="write a combined span+metric JSONL log of the run",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
 
-    run = sub.add_parser("run", help="run one experiment and print its table")
+    run = sub.add_parser(
+        "run",
+        help="run one experiment and print its table",
+        parents=[log_flags, obs_flags],
+    )
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument(
         "--dataset",
@@ -168,7 +325,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the speedup bench (default: auto)",
     )
 
-    quick = sub.add_parser("quickstart", help="run the quickstart demo")
+    quick = sub.add_parser(
+        "quickstart",
+        help="run the quickstart demo",
+        parents=[log_flags, obs_flags],
+    )
     quick.add_argument(
         "--backend",
         default="serial",
@@ -199,59 +360,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="duplicate stragglers past the deadline and race the copies "
         "(requires --task-timeout)",
     )
+
+    trace = sub.add_parser("trace", help="inspect a written trace file")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="print a per-phase time breakdown and the slowest tasks",
+        parents=[log_flags],
+    )
+    summarize.add_argument("path", help="Chrome trace-event JSON written by --trace")
+    summarize.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="how many slowest tasks to list (default: 5)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    reporter = _configure_logging(args)
     if args.command == "list":
         for name, (description, _) in sorted(EXPERIMENTS.items()):
-            print(f"{name:8s}  {description}")
+            reporter.info("%-8s  %s", name, description)
+        return 0
+    if args.command == "trace":
+        summary = summarize_trace(args.path, top_k=args.top)
+        reporter.info("%s", format_trace_summary(summary))
         return 0
     if args.command == "quickstart":
-        # Local import: examples are not part of the installed package.
-        from repro import EngineConfig, MicroBatchEngine, make_partitioner
-        from repro.queries import select_top_k, wordcount_query
-        from repro.workloads import tweets_source
-
-        engine = MicroBatchEngine(
-            make_partitioner("prompt"),
-            wordcount_query(window_length=10.0),
-            EngineConfig(
-                batch_interval=1.0,
-                num_blocks=8,
-                num_reducers=8,
-                executor=args.backend,
-                executor_workers=args.workers,
-                max_task_retries=args.task_retries,
-                task_timeout=args.task_timeout,
-                speculative_execution=args.speculate,
-            ),
-        )
-        result = engine.run(tweets_source(rate=5_000.0, seed=42), num_batches=12)
-        print(f"backend: {result.backend_name}")
-        if result.backend_name == "parallel":
-            print(
-                "fault tolerance: "
-                f"{result.executor_task_attempts} attempts, "
-                f"{result.executor_task_retries} retries, "
-                f"{result.executor_pool_resurrections} pool resurrections, "
-                f"{result.executor_speculative_wins} speculative wins, "
-                f"{result.executor_timeout_trips} timeout trips, "
-                f"{result.executor_fallbacks} serial fallbacks"
-            )
-        print(f"throughput: {result.stats.throughput():,.0f} tuples/s")
-        print(f"mean latency: {result.stats.mean_latency():.3f}s")
-        for word, count in select_top_k(result.final_window_answer(), 5):
-            print(f"  {word:>8}  {count}")
+        text, _ = _run_quickstart(args)
+        reporter.info("%s", text)
         return 0
 
     _, runner = EXPERIMENTS[args.experiment]
     text, payload = runner(args)
-    print(text)
+    reporter.info("%s", text)
     if not args.no_save:
         path = save_results(f"cli_{args.experiment}", payload)
-        print(f"\nresults saved to {path}")
+        reporter.info("\nresults saved to %s", path)
     return 0
 
 

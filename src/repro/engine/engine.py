@@ -15,6 +15,7 @@ and Reduce tasks used for subsequent batches.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -23,7 +24,9 @@ from ..core.config import EarlyReleaseConfig, ElasticityConfig
 from ..core.early_release import EarlyReleaseController
 from ..core.elasticity import AutoScaler, ScalingDecision
 from ..core.tuples import Key
+from ..core.metrics import evaluate_partition
 from ..extensions.batch_sizing import BatchSizeController, BatchSizingConfig
+from ..obs import ObservabilityConfig, RunObservability
 from ..partitioners.base import Partitioner
 from ..queries.base import Query
 from ..workloads.source import StreamSource
@@ -40,6 +43,8 @@ from .stats import BatchRecord, RunStats
 from .tasks import BatchExecution, TaskCostModel
 from .topology import Topology
 from .windows import WindowedAggregator
+
+log = logging.getLogger(__name__)
 
 __all__ = ["EngineConfig", "RunResult", "MicroBatchEngine"]
 
@@ -89,6 +94,10 @@ class EngineConfig:
     #: broken-pool rebuilds allowed per task wave before the batch
     #: degrades to the serial fallback
     max_pool_resurrections: int = 2
+    #: span tracing + metrics for this run (None = fully disabled; the
+    #: no-op path adds no measurable overhead and never perturbs the
+    #: determinism contract — see repro.obs)
+    observability: Optional[ObservabilityConfig] = None
 
     def __post_init__(self) -> None:
         if self.batch_interval <= 0:
@@ -140,6 +149,10 @@ class RunResult:
     executor_pool_resurrections: int = 0
     executor_speculative_wins: int = 0
     executor_timeout_trips: int = 0
+    #: the run's tracer + metrics registry (no-op pair when the config
+    #: did not enable observability); excluded from equality like every
+    #: other observational field
+    observability: Optional[RunObservability] = field(default=None, compare=False)
 
     @property
     def stable(self) -> bool:
@@ -173,6 +186,9 @@ class MicroBatchEngine:
         if num_batches < 1:
             raise ValueError(f"num_batches must be >= 1, got {num_batches}")
         cfg = self.config
+        obs = RunObservability(cfg.observability)
+        tracer, metrics = obs.tracer, obs.metrics
+        self.partitioner.bind_observability(metrics)
         backend = make_executor(
             cfg.executor,
             max_workers=cfg.executor_workers,
@@ -183,6 +199,7 @@ class MicroBatchEngine:
             max_pool_resurrections=cfg.max_pool_resurrections,
             fault_injector=self.task_fault_injector,
         )
+        backend.bind_observability(tracer, metrics)
         loop = EventLoop()
         scheduler = PipelineScheduler(loop)
         cluster = Cluster(cfg.cluster)
@@ -227,31 +244,60 @@ class MicroBatchEngine:
 
         def heartbeat(k: int, t_start: float, interval: float) -> None:
             info = BatchInfo(index=k, t_start=t_start, t_end=t_start + interval)
-            tuples, window = receiver.collect(info)
-            map_tasks = scaler.map_tasks if scaler else cfg.num_blocks
-            reduce_tasks = scaler.reduce_tasks if scaler else cfg.num_reducers
-            partitioned = self.partitioner.partition(tuples, map_tasks, info)
-            early.record(partitioned.partition_elapsed, window)
-            execution = backend.run_batch(
-                partitioned,
-                self.query,
-                self.partitioner,
-                reduce_tasks,
-                cfg.cost_model,
-                topology=topology,
-            )
-            processing = (
-                cluster.stage_makespan(execution.map_durations)
-                + cluster.stage_makespan(execution.reduce_durations)
-                + self.partitioner.heartbeat_overhead(partitioned)
-            )
+            batch_span = tracer.start("batch", index=k)
+            try:
+                with tracer.span("buffer", batch=k):
+                    tuples, window = receiver.collect(info)
+                map_tasks = scaler.map_tasks if scaler else cfg.num_blocks
+                reduce_tasks = scaler.reduce_tasks if scaler else cfg.num_reducers
+                with tracer.span(
+                    "partition", batch=k, technique=self.partitioner.name
+                ):
+                    partitioned = self.partitioner.partition(
+                        tuples, map_tasks, info
+                    )
+                early.record(partitioned.plan_elapsed, window)
+                if metrics.enabled:
+                    quality = evaluate_partition(partitioned)
+                    labels = {"technique": self.partitioner.name}
+                    metrics.gauge(
+                        "prompt_partition_bsi",
+                        "Block size-imbalance of the last batch (Eqn. 2)",
+                        labels,
+                    ).set(quality.bsi)
+                    metrics.gauge(
+                        "prompt_partition_bci",
+                        "Block cardinality-imbalance of the last batch (Eqn. 4)",
+                        labels,
+                    ).set(quality.bci)
+                    metrics.gauge(
+                        "prompt_partition_ksr",
+                        "Key split ratio of the last batch (Eqn. 5)",
+                        labels,
+                    ).set(quality.ksr)
+                execution = backend.run_batch(
+                    partitioned,
+                    self.query,
+                    self.partitioner,
+                    reduce_tasks,
+                    cfg.cost_model,
+                    topology=topology,
+                )
+                processing = (
+                    cluster.stage_makespan(execution.map_durations)
+                    + cluster.stage_makespan(execution.reduce_durations)
+                    + self.partitioner.heartbeat_overhead(partitioned)
+                )
+            finally:
+                tracer.end(batch_span)
 
             def on_finish(job: ScheduledJob) -> None:
                 self._complete_batch(
                     k,
                     info,
                     tuples,
-                    partitioned.partition_elapsed,
+                    partitioned.buffer_elapsed,
+                    partitioned.plan_elapsed,
                     execution,
                     job,
                     map_tasks,
@@ -266,6 +312,8 @@ class MicroBatchEngine:
                     scaling_history=scaling_history,
                     recoveries=recoveries,
                     sizer=sizer,
+                    obs=obs,
+                    batch_span_id=batch_span.span_id,
                 )
 
             scheduler.submit(k, processing, on_finish)
@@ -285,10 +333,38 @@ class MicroBatchEngine:
             lambda: heartbeat(0, 0.0, cfg.batch_interval),
             label="heartbeat-0",
         )
+        log.debug(
+            "run starting: partitioner=%s backend=%s batches=%d",
+            self.partitioner.name, backend.name, num_batches,
+        )
+        run_span = tracer.start(
+            "run",
+            partitioner=self.partitioner.name,
+            backend=backend.name,
+            batches=num_batches,
+        )
         try:
             loop.run()
         finally:
+            tracer.end(run_span)
             backend.close()
+        if monitor.triggered:
+            log.warning(
+                "backpressure triggered during the run (batch %s)",
+                monitor.triggered_at,
+            )
+        log.info(
+            "run complete: %d batches on %s backend, %d tuples, "
+            "throughput %.0f tuples/s, mean latency %.3fs",
+            len(stats), backend.name, stats.total_tuples,
+            stats.throughput(), stats.mean_latency(),
+        )
+        written = obs.flush()
+        if written:
+            log.info(
+                "observability exports written: %s",
+                ", ".join(str(p) for p in written),
+            )
         return RunResult(
             stats=stats,
             window_answers=window_answers,
@@ -305,6 +381,7 @@ class MicroBatchEngine:
             executor_pool_resurrections=backend.pool_resurrections,
             executor_speculative_wins=backend.speculative_wins,
             executor_timeout_trips=backend.timeout_trips,
+            observability=obs,
         )
 
     # ------------------------------------------------------------------
@@ -313,7 +390,8 @@ class MicroBatchEngine:
         k: int,
         info: BatchInfo,
         tuples: list,
-        partition_elapsed: float,
+        buffer_elapsed: float,
+        plan_elapsed: float,
         execution: BatchExecution,
         job: ScheduledJob,
         map_tasks: int,
@@ -329,9 +407,13 @@ class MicroBatchEngine:
         scaling_history: list[ScalingDecision],
         recoveries: list[RecoveryEvent],
         sizer: Optional[BatchSizeController] = None,
+        obs: Optional[RunObservability] = None,
+        batch_span_id: Optional[int] = None,
     ) -> None:
         """Batch ``k`` finished processing: state, windows, feedback."""
         cfg = self.config
+        obs = obs or RunObservability(None)
+        tracer, metrics = obs.tracer, obs.metrics
         distinct = set()
         for m in execution.map_results:
             distinct.update(c.key for c in m.clusters)
@@ -339,16 +421,25 @@ class MicroBatchEngine:
 
         output = execution.batch_output() if cfg.track_outputs else {}
         if cfg.track_outputs:
-            store.put(k, output, tuples if cfg.replicate_inputs else None)
-            if self.failure_injector and self.failure_injector.should_fail(k):
-                recoveries.append(
-                    self.failure_injector.fail_and_recover(store, k, self.query)
-                )
-                output = dict(store.get(k).output)
-            window_answers.append(windows.add_batch(output))
-            expired = k - batches_per_window
-            if expired >= 0:
-                store.evict_through(expired)
+            with tracer.span("window_merge", parent=batch_span_id, batch=k):
+                store.put(k, output, tuples if cfg.replicate_inputs else None)
+                if self.failure_injector and self.failure_injector.should_fail(k):
+                    recoveries.append(
+                        self.failure_injector.fail_and_recover(
+                            store, k, self.query
+                        )
+                    )
+                    output = dict(store.get(k).output)
+                    log.info(
+                        "batch %d state lost and recovered (%d keys, match=%s)",
+                        k,
+                        recoveries[-1].recovered_keys,
+                        recoveries[-1].matched_original,
+                    )
+                window_answers.append(windows.add_batch(output))
+                expired = k - batches_per_window
+                if expired >= 0:
+                    store.evict_through(expired)
 
         decision: Optional[ScalingDecision] = None
         data_rate = len(tuples) / info.interval
@@ -378,7 +469,8 @@ class MicroBatchEngine:
             map_durations=tuple(execution.map_durations),
             reduce_durations=tuple(execution.reduce_durations),
             bucket_weights=tuple(r.input_weight for r in execution.reduce_results),
-            partition_elapsed=partition_elapsed,
+            buffer_elapsed=buffer_elapsed,
+            plan_elapsed=plan_elapsed,
             scaling=decision,
             backend=execution.backend,
             map_wall_seconds=tuple(execution.map_wall_seconds),
@@ -391,3 +483,58 @@ class MicroBatchEngine:
         )
         stats.add(record)
         monitor.observe(k, record.load, record.queue_delay, record.batch_interval)
+        if metrics.enabled:
+            metrics.counter(
+                "prompt_batches_total", "Batches completed by the engine"
+            ).inc()
+            metrics.counter(
+                "prompt_tuples_total", "Tuples processed across all batches"
+            ).inc(record.tuple_count)
+            metrics.histogram(
+                "prompt_batch_latency_seconds",
+                "End-to-end batch latency (interval + queueing + processing)",
+            ).observe(record.latency)
+            metrics.histogram(
+                "prompt_batch_processing_seconds",
+                "Simulated processing time per batch",
+            ).observe(record.processing_time)
+            metrics.histogram(
+                "prompt_queue_delay_seconds",
+                "Time a ready batch waited behind its predecessors",
+            ).observe(record.queue_delay)
+            metrics.histogram(
+                "prompt_partition_plan_seconds",
+                "Measured Algorithm 2 (partition planning) wall-clock",
+            ).observe(plan_elapsed)
+            metrics.histogram(
+                "prompt_partition_buffer_seconds",
+                "Measured Algorithm 1 (frequency-aware buffering) wall-clock",
+            ).observe(buffer_elapsed)
+            metrics.gauge(
+                "prompt_batch_load",
+                "W = processing_time / batch_interval of the last batch",
+            ).set(record.load)
+            for name, help_text, amount in (
+                ("prompt_task_attempts_total",
+                 "Task attempts launched on worker pools", execution.task_attempts),
+                ("prompt_task_retries_total",
+                 "Task attempts re-executed after transient failures",
+                 execution.task_retries),
+                ("prompt_pool_resurrections_total",
+                 "Broken process pools rebuilt mid-batch",
+                 execution.pool_resurrections),
+                ("prompt_speculative_wins_total",
+                 "Straggler duplicates that beat the original copy",
+                 execution.speculative_wins),
+                ("prompt_timeout_trips_total",
+                 "Per-task straggler deadlines that expired",
+                 execution.timeout_trips),
+            ):
+                metrics.counter(name, help_text).inc(amount)
+        if log.isEnabledFor(logging.DEBUG):
+            log.debug(
+                "batch %d done: tuples=%d keys=%d load=%.3f latency=%.3fs "
+                "backend=%s",
+                k, record.tuple_count, record.key_count, record.load,
+                record.latency, record.backend,
+            )

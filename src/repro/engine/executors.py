@@ -76,6 +76,7 @@ body with ``perf_counter`` and the per-batch totals feed
 from __future__ import annotations
 
 import abc
+import logging
 import multiprocessing
 import os
 import pickle
@@ -86,6 +87,8 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..core.batch import PartitionedBatch
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.tracing import NULL_TRACER, Tracer, WorkerSpan
 from ..partitioners.base import Partitioner
 from ..queries.base import Query
 from .faults import TaskFault, TaskFaultInjector, TransientTaskError
@@ -102,6 +105,8 @@ from .tasks import (
     shuffle_map_results,
 )
 from .topology import Topology
+
+log = logging.getLogger(__name__)
 
 __all__ = [
     "ExecutionBackend",
@@ -140,6 +145,10 @@ class ExecutionBackend(abc.ABC):
 
     def __init__(self, *, run_seed: int = 0) -> None:
         self.run_seed = run_seed
+        #: observability sinks, bound by the engine per run; the no-op
+        #: defaults make every publish/emit free when nothing is wired
+        self.tracer: Tracer = NULL_TRACER
+        self.metrics: MetricsRegistry = NULL_METRICS
         #: batches that degraded to in-process execution
         self.fallbacks = 0
         self.last_fallback_reason: Optional[str] = None
@@ -162,6 +171,13 @@ class ExecutionBackend(abc.ABC):
         topology: Topology | None = None,
     ) -> BatchExecution:
         """Execute one batch's Map -> shuffle -> Reduce computation."""
+
+    def bind_observability(
+        self, tracer: Tracer, metrics: MetricsRegistry
+    ) -> None:
+        """Attach the run's tracer and metrics registry (engine calls)."""
+        self.tracer = tracer
+        self.metrics = metrics
 
     def close(self) -> None:
         """Release any resources (worker pools); idempotent."""
@@ -195,6 +211,7 @@ class SerialExecutor(ExecutionBackend):
             cost_model,
             topology=topology,
             run_seed=self.run_seed,
+            tracer=self.tracer,
         )
 
 
@@ -204,10 +221,13 @@ def _map_task_worker(payload: bytes, attempt: int = 0) -> MapTaskResult:
     Payloads arrive pre-pickled by the driver (see
     :meth:`ParallelExecutor.run_batch` for why) and are unpacked here.
     An injected :class:`~repro.engine.faults.TaskFault` fires before the
-    task body, gated on the attempt number.
+    task body, gated on the attempt number.  With ``trace`` set, the
+    attempt's wall-clock is measured here — in the process that actually
+    runs it — and rides back on the result for the driver to stitch.
     """
     (
         fault,
+        trace,
         block,
         query,
         allocate,
@@ -216,19 +236,31 @@ def _map_task_worker(payload: bytes, attempt: int = 0) -> MapTaskResult:
         cost_model,
         task_seed,
     ) = pickle.loads(payload)
+    started = time.time() if trace else 0.0
     if fault is not None:
         fault.apply(attempt)
-    return run_map_task(
+    result = run_map_task(
         block, query, allocate, num_reducers, split_keys, cost_model, task_seed
     )
+    if trace:
+        result.span = WorkerSpan(
+            pid=os.getpid(), start=started, end=time.time()
+        )
+    return result
 
 
 def _reduce_task_worker(payload: bytes, attempt: int = 0) -> ReduceTaskResult:
     """Worker entry point for one Reduce task attempt (payload pre-pickled)."""
-    fault, bucket, aggregator, cost_model, task_seed = pickle.loads(payload)
+    fault, trace, bucket, aggregator, cost_model, task_seed = pickle.loads(payload)
+    started = time.time() if trace else 0.0
     if fault is not None:
         fault.apply(attempt)
-    return run_reduce_task(bucket, aggregator, cost_model, task_seed)
+    result = run_reduce_task(bucket, aggregator, cost_model, task_seed)
+    if trace:
+        result.span = WorkerSpan(
+            pid=os.getpid(), start=started, end=time.time()
+        )
+    return result
 
 
 def _is_infrastructure_error(exc: BaseException) -> bool:
@@ -347,6 +379,19 @@ class ParallelExecutor(ExecutionBackend):
     ) -> BatchExecution:
         self.fallbacks += 1
         self.last_fallback_reason = f"{type(reason).__name__}: {reason}"
+        log.warning(
+            "batch %s degraded to serial execution: %s",
+            batch.info.index, self.last_fallback_reason,
+        )
+        self.metrics.counter(
+            "prompt_executor_fallbacks_total",
+            "Batches the parallel backend degraded to serial execution",
+        ).inc()
+        self.tracer.event(
+            "executor_fallback",
+            batch=batch.info.index,
+            reason=type(reason).__name__,
+        )
         return execute_batch_tasks(
             batch,
             query,
@@ -355,6 +400,7 @@ class ParallelExecutor(ExecutionBackend):
             cost_model,
             topology=topology,
             run_seed=self.run_seed,
+            tracer=self.tracer,
         )
 
     def _pickle_payloads(self, items: Sequence[tuple]) -> list[bytes]:
@@ -377,12 +423,18 @@ class ParallelExecutor(ExecutionBackend):
         worker: Callable[[bytes, int], object],
         payloads: Sequence[bytes],
         counters: _WaveCounters,
+        kind: str = "task",
+        batch_index: int = -1,
     ) -> list:
         """Run one wave of tasks with retries/resurrection/speculation.
 
         Results come back indexed by submission position (= task id),
         which is what keeps the downstream merge deterministic no matter
-        how attempts raced, failed, or were duplicated.
+        how attempts raced, failed, or were duplicated.  When tracing is
+        on, each winning attempt's worker-side span is stitched into the
+        driver trace (in task-id order, so the span tree is independent
+        of completion races) and retries/timeouts/speculative launches
+        are marked with zero-duration events.
         """
         n = len(payloads)
         results: list = [None] * n
@@ -395,15 +447,24 @@ class ParallelExecutor(ExecutionBackend):
         to_submit: list[tuple[int, bool]] = [(tid, False) for tid in range(n)]
         remaining = n
         resurrections_left = self.max_pool_resurrections
+        won_attempt = [0] * n  # attempt number of the winning copy
+        won_speculative = [False] * n
+        pending_attempt: dict[Future, int] = {}
 
         def record_success(tid: int, future: Future, speculative: bool) -> None:
             nonlocal remaining
             results[tid] = future.result()
             done[tid] = True
             remaining -= 1
+            won_attempt[tid] = pending_attempt.get(future, attempts[tid] - 1)
+            won_speculative[tid] = speculative
             if speculative:
                 counters.speculative_wins += 1
                 self.speculative_wins += 1
+                log.info(
+                    "speculative copy won: batch=%s kind=%s task=%s",
+                    batch_index, kind, tid,
+                )
 
         def salvage_and_rebuild(broken: BrokenProcessPool) -> None:
             # The pool died; every outstanding future is void.  Keep
@@ -430,6 +491,15 @@ class ParallelExecutor(ExecutionBackend):
             resurrections_left -= 1
             counters.resurrections += 1
             self.pool_resurrections += 1
+            log.warning(
+                "process pool broke (batch=%s kind=%s); resurrecting, "
+                "%d unfinished task(s), %d rebuild(s) left",
+                batch_index, kind, remaining, resurrections_left,
+            )
+            self.tracer.event(
+                "pool_resurrection", batch=batch_index, kind=kind,
+                unfinished=remaining,
+            )
             to_submit[:] = [(tid, False) for tid in range(n) if not done[tid]]
 
         def launch_queued() -> None:
@@ -450,6 +520,7 @@ class ParallelExecutor(ExecutionBackend):
                 except BrokenProcessPool as exc:
                     salvage_and_rebuild(exc)  # refills/clears the queue
                     continue
+                pending_attempt[future] = attempts[tid]
                 attempts[tid] += 1
                 outstanding[tid] += 1
                 counters.attempts += 1
@@ -478,10 +549,24 @@ class ParallelExecutor(ExecutionBackend):
                         continue
                     counters.timeout_trips += 1
                     self.timeout_trips += 1
+                    log.warning(
+                        "task deadline tripped: batch=%s kind=%s task=%s "
+                        "(outstanding %.3fs past %.3fs timeout)",
+                        batch_index, kind, tid,
+                        now - (deadlines[tid] - (self.task_timeout or 0.0)),
+                        self.task_timeout or 0.0,
+                    )
+                    self.tracer.event(
+                        "task_timeout", batch=batch_index, kind=kind, task_id=tid
+                    )
                     deadlines[tid] = now + (self.task_timeout or 0.0)
                     if self.speculative and outstanding[tid] < 2:
                         # Duplicate the straggler: same payload, same
                         # seed — either copy's result is byte-identical.
+                        self.tracer.event(
+                            "task_speculate",
+                            batch=batch_index, kind=kind, task_id=tid,
+                        )
                         to_submit.append((tid, True))
                 continue
             broken: BrokenProcessPool | None = None
@@ -505,10 +590,45 @@ class ParallelExecutor(ExecutionBackend):
                     continue
                 failures[tid] += 1
                 if not _is_retryable_error(exc) or failures[tid] > self.max_task_retries:
+                    log.error(
+                        "task failed permanently: batch=%s kind=%s task=%s "
+                        "after %d failure(s): %s: %s",
+                        batch_index, kind, tid, failures[tid],
+                        type(exc).__name__, exc,
+                    )
                     raise exc
                 counters.retries += 1
                 self.task_retries += 1
+                log.warning(
+                    "retrying task: batch=%s kind=%s task=%s "
+                    "(failure %d/%d: %s)",
+                    batch_index, kind, tid, failures[tid],
+                    self.max_task_retries, type(exc).__name__,
+                )
+                self.tracer.event(
+                    "task_retry",
+                    batch=batch_index, kind=kind, task_id=tid,
+                    failure=failures[tid], error=type(exc).__name__,
+                )
                 to_submit.append((tid, False))
+        if self.tracer.enabled:
+            # Stitch the winning attempts' worker-side spans in task-id
+            # order — deterministic regardless of completion races.
+            for tid, result in enumerate(results):
+                span = getattr(result, "span", None)
+                if span is None:
+                    continue
+                self.tracer.record(
+                    f"{kind}_task",
+                    span.start,
+                    span.end,
+                    pid=span.pid,
+                    task_id=tid,
+                    batch=batch_index,
+                    attempt=won_attempt[tid],
+                    retries=failures[tid],
+                    speculative=won_speculative[tid],
+                )
         return results
 
     # ------------------------------------------------------------------
@@ -534,11 +654,13 @@ class ParallelExecutor(ExecutionBackend):
             return injector.fault_for(batch_index, kind, task_id)
 
         counters = _WaveCounters()
+        trace = self.tracer.enabled
         try:
             map_payloads = self._pickle_payloads(
                 [
                     (
                         fault_for("map", block.index),
+                        trace,
                         block,
                         query,
                         allocate,
@@ -551,15 +673,17 @@ class ParallelExecutor(ExecutionBackend):
                 ]
             )
             map_results: list[MapTaskResult] = self._run_tasks(
-                _map_task_worker, map_payloads, counters
+                _map_task_worker, map_payloads, counters, "map", batch_index
             )
-            buckets: list[BucketInput] = shuffle_map_results(
-                map_results, num_reducers, topology
-            )
+            with self.tracer.span("shuffle", batch=batch_index):
+                buckets: list[BucketInput] = shuffle_map_results(
+                    map_results, num_reducers, topology
+                )
             reduce_payloads = self._pickle_payloads(
                 [
                     (
                         fault_for("reduce", bucket.bucket_index),
+                        trace,
                         bucket,
                         query.aggregator,
                         cost_model,
@@ -571,7 +695,7 @@ class ParallelExecutor(ExecutionBackend):
                 ]
             )
             reduce_results: list[ReduceTaskResult] = self._run_tasks(
-                _reduce_task_worker, reduce_payloads, counters
+                _reduce_task_worker, reduce_payloads, counters, "reduce", batch_index
             )
         except BaseException as exc:
             if isinstance(exc, BrokenProcessPool):

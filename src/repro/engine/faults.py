@@ -26,6 +26,7 @@ attempt 1 always succeeds, in any process and on any backend schedule.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from dataclasses import dataclass, replace
@@ -49,6 +50,8 @@ __all__ = [
 #: the two task kinds the execution layer dispatches
 TASK_KINDS: tuple[str, ...] = ("map", "reduce")
 
+log = logging.getLogger(__name__)
+
 
 @dataclass(frozen=True, slots=True)
 class RecoveryEvent:
@@ -70,6 +73,8 @@ def recover_batch(
         )
     output = query.reference_output(state.replicated_input)
     store.restore(index, output)
+    log.info("recovered batch %d state from replicated input (%d keys)",
+             index, len(output))
     return output
 
 
@@ -95,6 +100,11 @@ class FailureInjector:
             recovered_keys=len(recovered),
             matched_original=dict(recovered) == original,
         )
+        if not event.matched_original:
+            log.error(
+                "recovered state for batch %d does not match the lost "
+                "original — exactly-once violated", index,
+            )
         self.events.append(event)
         return event
 
@@ -183,6 +193,7 @@ class TaskFaultInjector:
 
     def _merge(self, key: tuple[int, str, int], **changes: Any) -> None:
         self._faults[key] = replace(self._faults.get(key, TaskFault()), **changes)
+        log.debug("registered task fault %s: %s", key, self._faults[key])
 
     def crash(
         self, batch_index: int, kind: str, task_id: int, *, times: int = 1

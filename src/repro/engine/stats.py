@@ -19,11 +19,19 @@ __all__ = ["BatchRecord", "RunStats", "percentile"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]); 0.0 for empty input."""
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for empty input.
+
+    NaN inputs are rejected explicitly: ``sorted`` with NaNs present
+    produces an ordering that depends on the input arrangement (NaN
+    compares false against everything), which would make the "same"
+    distribution yield different percentiles run to run.
+    """
     if not values:
         return 0.0
     if not 0 <= q <= 100:
         raise ValueError(f"q must be in [0, 100], got {q}")
+    if any(math.isnan(v) for v in values):
+        raise ValueError("percentile input contains NaN")
     ordered = sorted(values)
     rank = max(1, math.ceil(q / 100 * len(ordered)))
     return ordered[rank - 1]
@@ -47,9 +55,12 @@ class BatchRecord:
     map_durations: tuple[float, ...]
     reduce_durations: tuple[float, ...]
     bucket_weights: tuple[int, ...]
-    #: driver-side wall-clock of the partitioning call — real time, so
-    #: excluded from equality like the other measured-seconds fields
-    partition_elapsed: float = field(compare=False)
+    #: driver-side wall-clock of the partitioning call, split by phase so
+    #: Figure-14-style overhead benches can attribute Algorithm 1
+    #: (buffering) vs. Algorithm 2 (planning) cost — real time, so both
+    #: are excluded from equality like the other measured-seconds fields
+    buffer_elapsed: float = field(default=0.0, compare=False)
+    plan_elapsed: float = field(default=0.0, compare=False)
     scaling: Optional[ScalingDecision] = None
     #: which execution backend processed the batch.  Excluded from
     #: equality along with the wall-clock fields: two runs that differ
@@ -68,6 +79,11 @@ class BatchRecord:
     pool_resurrections: int = field(default=0, compare=False)
     speculative_wins: int = field(default=0, compare=False)
     timeout_trips: int = field(default=0, compare=False)
+
+    @property
+    def partition_elapsed(self) -> float:
+        """Total driver-side partitioning wall-clock (buffer + plan)."""
+        return self.buffer_elapsed + self.plan_elapsed
 
     @property
     def batch_interval(self) -> float:
@@ -226,8 +242,13 @@ class RunStats:
         return [(r.index, r.map_tasks, r.reduce_tasks) for r in self.records]
 
     def partition_overhead_fractions(self) -> list[float]:
-        """Partitioning cost as a fraction of the interval — Figure 14b."""
+        """Algorithm 2 planning cost as a fraction of the interval — Figure 14b.
+
+        Buffering (Algorithm 1) is excluded: it replaces the receiver's
+        ordinary ingestion work and overlaps the batch interval, whereas
+        the plan step is the marginal cost Prompt adds at the heartbeat.
+        """
         interval = self.batch_interval
         if interval <= 0:
             return []
-        return [r.partition_elapsed / interval for r in self.records]
+        return [r.plan_elapsed / interval for r in self.records]

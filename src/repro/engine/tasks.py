@@ -47,6 +47,7 @@ from typing import Callable, Collection, Sequence
 from ..core.batch import DataBlock, PartitionedBatch
 from ..core.reduce_allocator import BucketAssignment, KeyCluster
 from ..core.tuples import Key
+from ..obs.tracing import NULL_TRACER, Tracer, WorkerSpan
 from ..partitioners.base import Partitioner
 from ..queries.base import Aggregator, Query
 from .topology import Topology
@@ -130,6 +131,10 @@ class MapTaskResult:
     task_seed: int = 0
     #: measured wall-clock of the task body (real time, not simulated)
     wall_seconds: float = 0.0
+    #: worker-side span measurement when tracing is on (observational
+    #: wall-clock only — excluded from equality like the other measured
+    #: fields, so traced runs compare identical to untraced ones)
+    span: WorkerSpan | None = field(default=None, compare=False)
 
 
 @dataclass(slots=True)
@@ -149,6 +154,10 @@ class ReduceTaskResult:
     task_seed: int = 0
     #: measured wall-clock of the task body (real time, not simulated)
     wall_seconds: float = 0.0
+    #: worker-side span measurement when tracing is on (observational
+    #: wall-clock only — excluded from equality like the other measured
+    #: fields, so traced runs compare identical to untraced ones)
+    span: WorkerSpan | None = field(default=None, compare=False)
 
 
 @dataclass(slots=True)
@@ -364,6 +373,7 @@ def execute_batch_tasks(
     cost_model: TaskCostModel,
     topology: Topology | None = None,
     run_seed: int = 0,
+    tracer: Tracer = NULL_TRACER,
 ) -> BatchExecution:
     """Run the full Map -> shuffle -> Reduce computation of one batch.
 
@@ -383,28 +393,41 @@ def execute_batch_tasks(
     allocate = partitioner.reduce_allocation()
     split = set(batch.split_keys)
     batch_index = batch.info.index
-    map_results = [
-        run_map_task(
-            block,
-            query,
-            allocate,
-            num_reducers,
-            {k for k in split if k in block},
-            cost_model,
-            task_seed=derive_task_seed(run_seed, batch_index, "map", block.index),
-        )
-        for block in batch.blocks
-    ]
-    buckets = shuffle_map_results(map_results, num_reducers, topology)
-    reduce_results = [
-        run_reduce_task(
-            bucket,
-            query.aggregator,
-            cost_model,
-            task_seed=derive_task_seed(run_seed, batch_index, "reduce", bucket.bucket_index),
-        )
-        for bucket in buckets
-    ]
+    map_results = []
+    for block in batch.blocks:
+        with tracer.span(
+            "map_task", task_id=block.index, batch=batch_index, attempt=0
+        ):
+            map_results.append(
+                run_map_task(
+                    block,
+                    query,
+                    allocate,
+                    num_reducers,
+                    {k for k in split if k in block},
+                    cost_model,
+                    task_seed=derive_task_seed(
+                        run_seed, batch_index, "map", block.index
+                    ),
+                )
+            )
+    with tracer.span("shuffle", batch=batch_index):
+        buckets = shuffle_map_results(map_results, num_reducers, topology)
+    reduce_results = []
+    for bucket in buckets:
+        with tracer.span(
+            "reduce_task", task_id=bucket.bucket_index, batch=batch_index, attempt=0
+        ):
+            reduce_results.append(
+                run_reduce_task(
+                    bucket,
+                    query.aggregator,
+                    cost_model,
+                    task_seed=derive_task_seed(
+                        run_seed, batch_index, "reduce", bucket.bucket_index
+                    ),
+                )
+            )
     return BatchExecution(
         map_results=map_results, reduce_results=reduce_results, backend="serial"
     )

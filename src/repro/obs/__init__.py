@@ -1,0 +1,134 @@
+"""repro.obs — zero-dependency observability for the micro-batch engine.
+
+Three pieces, threaded through every engine layer:
+
+- :mod:`repro.obs.tracing` — nested span tracer
+  (``run -> batch -> {buffer, partition, map_task, shuffle,
+  reduce_task, window_merge}``) with worker-side span stitching;
+- :mod:`repro.obs.metrics` — pull-based registry of counters, gauges
+  and fixed-bucket histograms (catalog in ``docs/observability.md``);
+- :mod:`repro.obs.export` — Chrome-trace JSON, JSONL logs, a
+  Prometheus-text snapshot, and the ``repro trace summarize`` backend.
+
+Enable per run via ``EngineConfig(observability=ObservabilityConfig())``
+— the default everywhere else is the :data:`~repro.obs.tracing.NULL_TRACER`
+/ :data:`~repro.obs.metrics.NULL_METRICS` pair, whose operations are
+no-ops: the disabled path adds no measurable overhead and never touches
+the engine's determinism contract (all observability state lives outside
+dataclass equality, like the existing ``compare=False`` wall-clock
+fields).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from .export import (
+    chrome_trace_events,
+    format_trace_summary,
+    parse_prometheus,
+    prometheus_text,
+    read_chrome_trace,
+    summarize_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from .tracing import NULL_TRACER, NullTracer, Span, Tracer, WorkerSpan
+
+__all__ = [
+    "ObservabilityConfig",
+    "RunObservability",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "WorkerSpan",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "read_chrome_trace",
+    "write_jsonl",
+    "prometheus_text",
+    "write_prometheus",
+    "parse_prometheus",
+    "summarize_trace",
+    "format_trace_summary",
+]
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Per-run observability knob (``EngineConfig.observability``).
+
+    Frozen so it can live inside the frozen ``EngineConfig``.  Paths are
+    optional: with ``enabled=True`` and no paths, spans and metrics stay
+    in memory on ``RunResult.observability`` for programmatic use.
+    """
+
+    enabled: bool = True
+    #: Chrome trace-event JSON written at the end of the run
+    trace_path: Optional[str] = None
+    #: Prometheus-text metrics snapshot written at the end of the run
+    metrics_path: Optional[str] = None
+    #: combined span+metric JSONL log written at the end of the run
+    jsonl_path: Optional[str] = None
+
+
+class RunObservability:
+    """Live tracer + metrics registry for one engine run.
+
+    Built by the engine from an :class:`ObservabilityConfig`; exposed on
+    ``RunResult.observability`` so callers can inspect spans and metrics
+    or export them after the fact.
+    """
+
+    def __init__(self, config: ObservabilityConfig | None = None) -> None:
+        self.config = config
+        active = config is not None and config.enabled
+        self.tracer: Tracer = Tracer() if active else NULL_TRACER
+        self.metrics: MetricsRegistry = (
+            MetricsRegistry() if active else NULL_METRICS
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    # ------------------------------------------------------------------
+    def export_chrome_trace(self, path: str | Path) -> Path:
+        return write_chrome_trace(self.tracer.spans, path)
+
+    def export_prometheus(self, path: str | Path) -> Path:
+        return write_prometheus(self.metrics, path)
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        return write_jsonl(path, self.tracer.spans, self.metrics)
+
+    def flush(self) -> list[Path]:
+        """Write every export the config asked for; returns written paths."""
+        written: list[Path] = []
+        if self.config is None or not self.enabled:
+            return written
+        if self.config.trace_path:
+            written.append(self.export_chrome_trace(self.config.trace_path))
+        if self.config.metrics_path:
+            written.append(self.export_prometheus(self.config.metrics_path))
+        if self.config.jsonl_path:
+            written.append(self.export_jsonl(self.config.jsonl_path))
+        return written

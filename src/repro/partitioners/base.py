@@ -26,6 +26,7 @@ from ..core.reduce_allocator import (
     hash_reduce_allocation,
 )
 from ..core.tuples import Key, StreamTuple
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
 
 __all__ = ["Partitioner", "StreamingPartitioner", "ReduceAllocation"]
 
@@ -40,6 +41,18 @@ class Partitioner(abc.ABC):
     name: str = "base"
     #: whether the technique needs the frequency-aware accumulator running
     uses_accumulator: bool = False
+    #: metrics sink the engine binds per run (no-op by default, so
+    #: techniques may publish unconditionally; see repro.obs.metrics)
+    metrics: MetricsRegistry = NULL_METRICS
+
+    def bind_observability(self, metrics: MetricsRegistry) -> None:
+        """Attach the run's metrics registry (engine calls this at start).
+
+        Instance-level assignment, so concurrent engines sharing a
+        partitioner *class* still get isolated sinks; rebinding with the
+        no-op registry detaches.
+        """
+        self.metrics = metrics
 
     @abc.abstractmethod
     def partition(

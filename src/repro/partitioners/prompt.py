@@ -113,20 +113,31 @@ class PromptPartitioner(Partitioner):
             started = time.perf_counter()
             groups = sorted_key_groups(tuples, descending=True)
             batch = self.batch_partitioner.partition(groups, num_blocks, info)
-            batch.partition_elapsed = time.perf_counter() - started
+            batch.plan_elapsed = time.perf_counter() - started
             batch.partitioner_name = "prompt-postsort"
             self.last_batch = None
             return batch
 
+        buffering_started = time.perf_counter()
         self.accumulator.start_interval(info)
         self.accumulator.accept_all(tuples)
         accumulated = self.accumulator.finalize()
+        buffer_elapsed = time.perf_counter() - buffering_started
         self.last_batch = accumulated
         started = time.perf_counter()
         batch = self.batch_partitioner.partition(
             accumulated.key_groups, num_blocks, info
         )
-        batch.partition_elapsed = time.perf_counter() - started
+        batch.plan_elapsed = time.perf_counter() - started
+        batch.buffer_elapsed = buffer_elapsed
+        self.metrics.counter(
+            "prompt_tree_updates_total",
+            "CountTree updates spent by Algorithm 1's per-key budget",
+        ).inc(accumulated.tree_updates)
+        self.metrics.gauge(
+            "prompt_accumulator_keys",
+            "Distinct keys the accumulator tracked in the last interval",
+        ).set(accumulated.key_count)
         return batch
 
     def partition_accumulated(
@@ -138,7 +149,7 @@ class PromptPartitioner(Partitioner):
         batch = self.batch_partitioner.partition(
             accumulated.key_groups, num_blocks, accumulated.info
         )
-        batch.partition_elapsed = time.perf_counter() - started
+        batch.plan_elapsed = time.perf_counter() - started
         return batch
 
     def heartbeat_overhead(self, batch: PartitionedBatch) -> float:

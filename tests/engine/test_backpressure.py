@@ -30,7 +30,6 @@ def _record(index, processing, interval=1.0, queue=0.0):
         map_durations=(processing,),
         reduce_durations=(0.0,),
         bucket_weights=(100,),
-        partition_elapsed=0.0,
     )
 
 

@@ -30,6 +30,7 @@ from repro.engine.backpressure import BackpressureConfig
 from repro.engine.cluster import ClusterConfig
 from repro.engine.engine import EngineConfig, MicroBatchEngine
 from repro.engine.tasks import TaskCostModel
+from repro.obs import ObservabilityConfig
 from repro.partitioners import make_partitioner
 from repro.queries import wordcount_query
 from repro.workloads import ConstantRate, synd_source, tweets_source
@@ -75,7 +76,13 @@ CONFIGS = {
 }
 
 
-def _run(workload: str, config_name: str, partitioner: str, executor: str):
+def _run(
+    workload: str,
+    config_name: str,
+    partitioner: str,
+    executor: str,
+    observability: ObservabilityConfig | None = None,
+):
     cfg = EngineConfig(
         batch_interval=1.0,
         num_blocks=4,
@@ -83,6 +90,7 @@ def _run(workload: str, config_name: str, partitioner: str, executor: str):
         executor=executor,
         executor_workers=2,
         run_seed=13,
+        observability=observability,
         **CONFIGS[config_name],
     )
     engine = MicroBatchEngine(
@@ -158,6 +166,24 @@ def test_parallel_matches_serial_across_seeds():
                 3,
             )
         _assert_equivalent(runs["serial"], runs["parallel"])
+
+
+def test_parallel_matches_serial_with_observability_enabled():
+    """Tracing/metrics must observe the run, never steer it: the full
+    differential contract holds with observability switched on, and the
+    traced answers are byte-identical to the untraced baseline."""
+    obs_cfg = ObservabilityConfig()
+    serial = _run("synd-skewed", "base", "prompt", "serial", obs_cfg)
+    parallel = _run("synd-skewed", "base", "prompt", "parallel", obs_cfg)
+    _assert_equivalent(serial, parallel)
+    untraced = _run("synd-skewed", "base", "prompt", "serial")
+    assert pickle.dumps(serial.window_answers) == pickle.dumps(
+        untraced.window_answers
+    )
+    assert serial.stats.records == untraced.stats.records
+    # and the instrumentation actually captured the run
+    assert len(serial.observability.tracer) > 0
+    assert len(parallel.observability.tracer) > 0
 
 
 def test_serial_runs_are_reproducible():

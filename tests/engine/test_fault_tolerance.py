@@ -31,6 +31,7 @@ import pytest
 
 from repro.engine.engine import EngineConfig, MicroBatchEngine
 from repro.engine.faults import TaskFaultInjector
+from repro.obs import ObservabilityConfig
 from repro.partitioners import make_partitioner
 from repro.queries import wordcount_query
 from repro.workloads import ConstantRate, synd_source, tweets_source
@@ -180,6 +181,39 @@ def test_pool_broken_at_batch_k_is_parallel_again_at_k_plus_one():
     assert backends[2] == "parallel"  # ...but batch k+1 is parallel again
     assert backends == ["parallel", "serial", "parallel", "parallel"]
     assert parallel.stats.total_pool_resurrections() == 0
+
+
+def test_faulted_run_with_observability_still_byte_identical():
+    """Tracing a faulted run neither changes the answer nor hides the
+    faults: the differential contract holds with observability on, and
+    the trace carries the retry / resurrection / attempt evidence."""
+    workload, partitioner = "synd-skewed", "prompt"
+    serial = _run(workload, partitioner, "serial")
+    parallel = _run(
+        workload,
+        partitioner,
+        "parallel",
+        injector=_crash_and_poison_injector(),
+        observability=ObservabilityConfig(),
+    )
+    _assert_identical_results(serial, parallel)
+    assert parallel.stats.total_task_retries() >= 3
+    assert parallel.stats.total_pool_resurrections() == 1
+
+    tracer = parallel.observability.tracer
+    names = [s.name for s in tracer.spans]
+    assert names.count("task_retry") >= 3
+    assert "pool_resurrection" in names
+    retried = [
+        s for s in tracer.spans
+        if s.name in ("map_task", "reduce_task") and s.attrs.get("retries", 0) > 0
+    ]
+    assert retried, "stitched task spans must carry retry counts"
+    assert all(s.attrs["attempt"] >= 1 for s in retried)
+
+    metrics = parallel.observability.metrics.as_dict()
+    assert metrics["prompt_task_retries_total"] >= 3
+    assert metrics["prompt_pool_resurrections_total"] == 1
 
 
 def test_retries_exhausted_fails_loudly_not_wrongly():

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
 
 import pytest
@@ -10,7 +11,8 @@ from repro.engine.stats import BatchRecord, RunStats, percentile
 
 
 def _record(index, *, interval=1.0, queue=0.0, processing=0.5, tuples=100,
-            reduce_durations=(0.1, 0.2), partition_elapsed=0.01):
+            reduce_durations=(0.1, 0.2), buffer_elapsed=0.005,
+            plan_elapsed=0.01):
     heartbeat = (index + 1) * interval
     start = heartbeat + queue
     return BatchRecord(
@@ -28,7 +30,8 @@ def _record(index, *, interval=1.0, queue=0.0, processing=0.5, tuples=100,
         map_durations=(0.3, 0.4),
         reduce_durations=reduce_durations,
         bucket_weights=(50, 50),
-        partition_elapsed=partition_elapsed,
+        buffer_elapsed=buffer_elapsed,
+        plan_elapsed=plan_elapsed,
     )
 
 
@@ -40,6 +43,43 @@ def test_percentile_nearest_rank():
     assert percentile([], 50) == 0.0
     with pytest.raises(ValueError):
         percentile(values, 101)
+
+
+def test_percentile_q0_and_q100_are_extremes():
+    values = [7.0, 3.0, 9.0, 1.0]
+    assert percentile(values, 0) == 1.0    # min: rank clamps to 1
+    assert percentile(values, 100) == 9.0  # max: rank = n
+
+
+def test_percentile_single_element_any_q():
+    for q in (0, 25, 50, 95, 100):
+        assert percentile([42.0], q) == 42.0
+
+
+def test_percentile_unsorted_input_matches_sorted():
+    unsorted = [5.0, 1.0, 4.0, 2.0, 3.0]
+    for q in (0, 20, 50, 80, 100):
+        assert percentile(unsorted, q) == percentile(sorted(unsorted), q)
+
+
+def test_percentile_all_equal_values():
+    values = [2.5] * 8
+    for q in (0, 50, 100):
+        assert percentile(values, q) == 2.5
+
+
+def test_percentile_rejects_nan():
+    # sorted() with a NaN present yields an arrangement-dependent order,
+    # so percentile must refuse rather than return a seed-dependent answer.
+    with pytest.raises(ValueError, match="NaN"):
+        percentile([1.0, math.nan, 2.0], 50)
+    with pytest.raises(ValueError, match="NaN"):
+        percentile([math.nan], 100)
+
+
+def test_percentile_negative_q_rejected():
+    with pytest.raises(ValueError):
+        percentile([1.0], -0.1)
 
 
 def test_record_derived_quantities():
@@ -96,7 +136,7 @@ def test_run_stats_throughput_early_finish_spans_heartbeat():
             map_durations=(0.1, 0.2),
             reduce_durations=(0.1, 0.2),
             bucket_weights=(50, 50),
-            partition_elapsed=0.01,
+            plan_elapsed=0.01,
         )
     )
     assert stats.throughput() == pytest.approx(100 / 1.0)
@@ -172,6 +212,19 @@ def test_series_extracts():
         pytest.approx(0.01),
         pytest.approx(0.01),
     ]
+
+
+def test_partition_elapsed_split_sums_and_stays_out_of_equality():
+    r = _record(0, buffer_elapsed=0.02, plan_elapsed=0.03)
+    assert r.partition_elapsed == pytest.approx(0.05)
+    # wall-clock phases are observations, not identity
+    assert replace(r, buffer_elapsed=9.0, plan_elapsed=9.0) == r
+
+
+def test_partition_overhead_fractions_use_plan_phase_only():
+    stats = RunStats(batch_interval=2.0)
+    stats.add(_record(0, interval=2.0, buffer_elapsed=1.0, plan_elapsed=0.1))
+    assert stats.partition_overhead_fractions() == [pytest.approx(0.05)]
 
 
 def test_empty_run_stats():

@@ -1,0 +1,101 @@
+"""Metrics registry: instrument semantics and the null path."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+def test_counter_get_or_create_and_inc():
+    reg = MetricsRegistry()
+    c = reg.counter("prompt_batches_total", "batches processed")
+    c.inc()
+    c.inc(2)
+    assert reg.counter("prompt_batches_total") is c
+    assert c.value == 3.0
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_labels_give_distinct_instruments():
+    reg = MetricsRegistry()
+    a = reg.gauge("prompt_partition_bsi", labels={"technique": "prompt"})
+    b = reg.gauge("prompt_partition_bsi", labels={"technique": "pk2"})
+    assert a is not b
+    a.set(0.9)
+    b.set(0.2)
+    # label order must not matter for identity
+    assert reg.gauge("prompt_partition_bsi", labels={"technique": "prompt"}).value == 0.9
+    assert len(reg) == 2
+
+
+def test_kind_conflict_rejected():
+    reg = MetricsRegistry()
+    reg.counter("prompt_tuples_total")
+    with pytest.raises(ValueError, match="already registered"):
+        reg.gauge("prompt_tuples_total")
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("prompt_batch_load")
+    g.set(1.5)
+    g.inc(0.5)
+    g.dec(1.0)
+    assert g.value == pytest.approx(1.0)
+
+
+def test_histogram_buckets_and_cumulative_counts():
+    h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    assert h.count == 5
+    assert h.sum == pytest.approx(56.05)
+    # per-bucket: <=0.1 -> 1, <=1.0 -> 2, <=10.0 -> 1, overflow -> uncounted
+    assert h.bucket_counts == [1, 2, 1]
+    assert h.cumulative_counts() == [1, 3, 4]
+
+
+def test_histogram_rejects_nan_and_empty_buckets():
+    h = Histogram("lat", buckets=(1.0,))
+    with pytest.raises(ValueError, match="NaN"):
+        h.observe(math.nan)
+    with pytest.raises(ValueError):
+        Histogram("empty", buckets=())
+
+
+def test_default_buckets_are_sorted():
+    assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+
+def test_collect_is_sorted_and_as_dict_roundtrips():
+    reg = MetricsRegistry()
+    reg.counter("z_total").inc()
+    reg.gauge("a_gauge").set(2.0)
+    reg.histogram("m_seconds", buckets=(1.0,)).observe(0.5)
+    names = [m.name for m in reg.collect()]
+    assert names == sorted(names)
+    snap = reg.as_dict()
+    assert snap["z_total"] == 1.0
+    assert snap["a_gauge"] == 2.0
+    assert snap["m_seconds"]["count"] == 1
+
+
+def test_null_registry_absorbs_everything():
+    reg = NullMetricsRegistry()
+    assert not reg.enabled
+    reg.counter("x_total").inc(5)
+    reg.gauge("y").set(1.0)
+    reg.histogram("z_seconds").observe(0.1)
+    assert len(reg) == 0
+    assert reg.as_dict() == {}
+    assert not NULL_METRICS.enabled

@@ -1,0 +1,115 @@
+"""Span tracer: nesting, stitching, signatures, and the null path."""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer, WorkerSpan
+
+
+def test_span_nesting_follows_the_stack():
+    tr = Tracer()
+    with tr.span("run"):
+        with tr.span("batch", index=0):
+            with tr.span("buffer"):
+                pass
+            with tr.span("partition"):
+                pass
+    by_name = {s.name: s for s in tr.spans}
+    assert by_name["run"].parent_id is None
+    assert by_name["batch"].parent_id == by_name["run"].span_id
+    assert by_name["buffer"].parent_id == by_name["batch"].span_id
+    assert by_name["partition"].parent_id == by_name["batch"].span_id
+    assert by_name["batch"].attrs == {"index": 0}
+
+
+def test_explicit_start_end_and_current():
+    tr = Tracer()
+    outer = tr.start("run")
+    assert tr.current is outer
+    inner = tr.start("batch")
+    assert tr.current is inner
+    tr.end(inner)
+    tr.end(outer, batches=3)
+    assert tr.current is None
+    assert outer.attrs["batches"] == 3
+    assert all(s.finished for s in tr.spans)
+    assert outer.duration >= inner.duration >= 0.0
+
+
+def test_end_closes_leaked_children():
+    tr = Tracer()
+    outer = tr.start("run")
+    tr.start("batch")  # never explicitly ended
+    tr.end(outer)
+    assert tr.current is None
+
+
+def test_record_stitches_worker_spans_with_pid():
+    tr = Tracer()
+    with tr.span("batch") as batch:
+        ws = WorkerSpan(pid=4242, start=10.0, end=10.5)
+        stitched = tr.record(
+            "map_task", ws.start, ws.end, pid=ws.pid, task_id=3, attempt=1
+        )
+    assert stitched.parent_id == batch.span_id
+    assert stitched.pid == 4242
+    assert stitched.duration == 0.5
+    assert stitched.attrs == {"task_id": 3, "attempt": 1}
+    # driver spans carry the driver pid
+    assert batch.pid == os.getpid()
+
+
+def test_event_is_zero_duration():
+    tr = Tracer()
+    with tr.span("batch"):
+        ev = tr.event("task_retry", task_id=1)
+    assert ev.duration == 0.0
+    assert ev.attrs == {"task_id": 1}
+
+
+def test_tree_signature_ignores_time_pid_and_order():
+    def build(order):
+        tr = Tracer()
+        with tr.span("run"):
+            with tr.span("batch"):
+                for name, pid in order:
+                    tr.record(name, 0.0, float(pid), pid=pid, task_id=pid)
+        return tr.tree_signature()
+
+    a = build([("map_task", 1), ("reduce_task", 2)])
+    b = build([("reduce_task", 9), ("map_task", 7)])
+    assert a == b
+
+
+def test_tree_signature_detects_structural_difference():
+    tr1, tr2 = Tracer(), Tracer()
+    with tr1.span("run"):
+        with tr1.span("batch"):
+            pass
+    with tr2.span("run"):
+        with tr2.span("batch"):
+            pass
+        with tr2.span("batch"):
+            pass
+    assert tr1.tree_signature() != tr2.tree_signature()
+
+
+def test_null_tracer_is_inert():
+    tr = NullTracer()
+    assert not tr.enabled
+    with tr.span("anything") as s:
+        inner = tr.start("more")
+        tr.end(inner)
+        tr.record("map_task", 0.0, 1.0)
+        tr.event("marker")
+    assert s is inner  # the shared dummy span
+    assert len(tr) == 0
+    assert tr.tree_signature() == ()
+    assert not NULL_TRACER.enabled
+
+
+def test_span_duration_clamps_open_spans():
+    s = Span(name="x", span_id=1, parent_id=None, start=100.0)
+    assert s.duration == 0.0
+    assert not s.finished

@@ -59,3 +59,56 @@ def test_quickstart_command(capsys):
     assert main(["quickstart"]) == 0
     out = capsys.readouterr().out
     assert "throughput" in out
+
+
+def test_quickstart_quiet_suppresses_reporting(capsys):
+    assert main(["quickstart", "--quiet"]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_quickstart_writes_trace_and_metrics(tmp_path, capsys):
+    import json
+
+    from repro.obs import parse_prometheus
+
+    trace = tmp_path / "t.json"
+    metrics = tmp_path / "m.prom"
+    assert main(
+        ["quickstart", "--trace", str(trace), "--metrics", str(metrics)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert f"trace written to {trace}" in out
+    assert f"metrics written to {metrics}" in out
+    events = json.loads(trace.read_text())["traceEvents"]
+    assert {e["name"] for e in events} >= {"run", "batch", "map_task", "shuffle"}
+    samples = parse_prometheus(metrics.read_text())
+    assert samples["prompt_batches_total"] == 12.0
+
+
+def test_run_quickstart_experiment_with_trace(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    assert main(
+        ["run", "quickstart", "--no-save", "--trace", str(trace)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert trace.exists()
+
+
+def test_trace_summarize(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    assert main(["quickstart", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["trace", "summarize", str(trace), "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "per-phase breakdown:" in out
+    for phase in ("run", "batch", "partition", "map_task", "reduce_task"):
+        assert phase in out
+    assert "slowest tasks:" in out
+
+
+def test_log_level_streams_diagnostics_to_stderr(capsys):
+    assert main(["quickstart", "--log-level", "info"]) == 0
+    captured = capsys.readouterr()
+    assert "throughput" in captured.out
+    assert "repro.engine" in captured.err

@@ -28,9 +28,27 @@ def test_required_documents_exist():
         "docs/algorithms.md",
         "docs/architecture.md",
         "docs/api.md",
+        "docs/observability.md",
         "docs/reproduction-notes.md",
     ):
         assert (ROOT / name).exists(), name
+
+
+def test_observability_doc_covers_the_metric_catalog():
+    """Every metric the engine publishes is documented by name."""
+    doc = _read("docs/observability.md")
+    src = ROOT / "src" / "repro"
+    published = set()
+    for path in src.rglob("*.py"):
+        published.update(re.findall(r'"(prompt_[a-z_]+)"', path.read_text()))
+    assert published, "no published metric names found in src/"
+    for name in sorted(published):
+        assert f"`{name}`" in doc, f"{name} missing from docs/observability.md"
+
+
+def test_observability_doc_is_cross_linked():
+    assert "observability.md" in _read("docs/architecture.md")
+    assert "observability.md" in _read("docs/api.md")
 
 
 def test_readme_lists_every_example():
