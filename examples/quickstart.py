@@ -1,39 +1,39 @@
 #!/usr/bin/env python3
 """Quickstart: run a windowed WordCount through the micro-batch engine.
 
-Builds the simulated engine with Prompt's partitioning scheme, streams
-a synthetic tweet-word workload through it for a dozen one-second
-batches, and prints per-batch execution records plus the final sliding
-window's hottest words — the smallest end-to-end tour of the library.
+Streams a synthetic tweet-word workload through the simulated engine
+under Prompt's partitioning scheme for a dozen one-second batches via
+the one-shot :func:`repro.run` entry point, then prints per-batch
+execution records plus the final sliding window's hottest words — the
+smallest end-to-end tour of the library.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import EngineConfig, MicroBatchEngine, make_partitioner
+import repro
 from repro.bench import render_run
 from repro.queries import select_top_k, wordcount_query
 from repro.workloads import tweets_source
 
 
 def main() -> None:
-    # 1. A query: count word occurrences over a 10-second sliding window.
-    query = wordcount_query(window_length=10.0)
-
-    # 2. An engine: 1 s batch intervals, 8 Map tasks, 8 Reduce tasks,
-    #    on a simulated 4-node x 4-core cluster (the defaults).
-    engine = MicroBatchEngine(
-        make_partitioner("prompt"),
-        query,
-        EngineConfig(batch_interval=1.0, num_blocks=8, num_reducers=8),
+    # One call: a 5,000 words/second tweet stream, a 10-second sliding
+    # WordCount window, Prompt partitioning, 12 one-second batches on
+    # the default simulated 4-node x 4-core cluster.  Extra keywords
+    # (batch_interval, num_blocks, num_reducers here) become
+    # EngineConfig fields — executor="parallel" would fan the tasks
+    # out over a process pool with bit-identical results.
+    result = repro.run(
+        tweets_source(rate=5_000.0, seed=42),
+        wordcount_query(window_length=10.0),
+        partitioner="prompt",
+        num_batches=12,
+        batch_interval=1.0,
+        num_blocks=8,
+        num_reducers=8,
     )
-
-    # 3. A workload: synthetic tweets at 5,000 words/second.
-    source = tweets_source(rate=5_000.0, seed=42)
-
-    # 4. Run 12 batches and inspect the results.
-    result = engine.run(source, num_batches=12)
 
     print("batch  tuples  keys   processing  load(W)  latency")
     for record in result.stats.records:

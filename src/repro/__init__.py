@@ -21,20 +21,30 @@ Public API layout:
 
 Quickstart::
 
-    from repro import MicroBatchEngine, EngineConfig
-    from repro.partitioners import make_partitioner
+    import repro
     from repro.queries import wordcount_query
     from repro.workloads import tweets_source
 
-    engine = MicroBatchEngine(
-        make_partitioner("prompt"),
+    result = repro.run(
+        tweets_source(rate=5_000),
         wordcount_query(window_length=10.0),
-        EngineConfig(batch_interval=1.0, num_blocks=8, num_reducers=8),
+        partitioner="prompt",
+        num_batches=12,
     )
-    result = engine.run(tweets_source(rate=5_000), num_batches=12)
     print(result.stats.throughput(), result.stats.mean_latency())
+
+The explicit form — build a partitioner, a query, and an
+:class:`EngineConfig`, then drive a :class:`MicroBatchEngine` — remains
+available for anything the one-shot entry cannot express (failure
+injection, partitioner reuse, sweeps).
+
+The names exported here — ``__all__`` below — are the frozen v0 public
+surface; ``docs/api.md`` documents each one and a doc-sync test keeps
+the two lists identical.  Symbols deeper in subpackages remain
+importable but carry no stability promise.
 """
 
+from .api import run
 from .core import (
     AccumulatorConfig,
     AutoScaler,
@@ -50,7 +60,7 @@ from .core import (
     StreamTuple,
     evaluate_partition,
 )
-from .engine import EngineConfig, MicroBatchEngine, RunResult
+from .engine import EngineConfig, ExecutorKind, MicroBatchEngine, RunResult
 from .obs import ObservabilityConfig, RunObservability
 from .partitioners import make_partitioner
 from .queries import Query, WindowSpec
@@ -64,6 +74,7 @@ __all__ = [
     "CountTree",
     "ElasticityConfig",
     "EngineConfig",
+    "ExecutorKind",
     "MPIWeights",
     "MicroBatchAccumulator",
     "MicroBatchEngine",
@@ -80,4 +91,5 @@ __all__ = [
     "__version__",
     "evaluate_partition",
     "make_partitioner",
+    "run",
 ]

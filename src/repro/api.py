@@ -1,0 +1,62 @@
+"""The one-shot convenience entry point: :func:`repro.run`.
+
+Most experiments in this repository build a
+:class:`~repro.engine.engine.MicroBatchEngine` explicitly because they
+reuse partitioners, inject failures, or sweep configurations.  For the
+common case — "run this query over that source with technique X" —
+:func:`run` collapses the three-object dance into one call:
+
+    import repro
+    from repro.queries import wordcount_query
+    from repro.workloads import tweets_source
+
+    result = repro.run(
+        tweets_source(rate=5_000.0, seed=42),
+        wordcount_query(window_length=10.0),
+        partitioner="prompt",
+        num_batches=12,
+        executor="parallel",
+    )
+    print(result.stats.throughput())
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .engine import EngineConfig, MicroBatchEngine, RunResult
+from .partitioners import make_partitioner
+from .partitioners.base import Partitioner
+from .queries.base import Query
+from .workloads.source import StreamSource
+
+__all__ = ["run"]
+
+
+def run(
+    source: StreamSource,
+    query: Query,
+    partitioner: str | Partitioner = "prompt",
+    num_batches: int = 10,
+    **config: Any,
+) -> RunResult:
+    """Run ``query`` over ``num_batches`` batch intervals of ``source``.
+
+    ``partitioner`` is either a registry name (any of
+    :data:`~repro.partitioners.PARTITIONER_NAMES`, e.g. ``"prompt"``,
+    ``"hash"``, ``"pk2"``) or an already-constructed
+    :class:`~repro.partitioners.base.Partitioner`.  Every remaining
+    keyword argument becomes an :class:`~repro.engine.engine.EngineConfig`
+    field (``executor="parallel"``, ``num_blocks=16``,
+    ``run_seed=7``, ...), so anything a full engine setup can express is
+    reachable from here — an unknown keyword raises the same ``TypeError``
+    the config dataclass would.
+
+    Returns the ordinary :class:`~repro.engine.engine.RunResult`; the
+    engine (and any worker pool its executor spawned) is torn down
+    before returning.
+    """
+    if isinstance(partitioner, str):
+        partitioner = make_partitioner(partitioner)
+    engine = MicroBatchEngine(partitioner, query, EngineConfig(**config))
+    return engine.run(source, num_batches=num_batches)

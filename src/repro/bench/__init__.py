@@ -15,13 +15,21 @@ from .experiments import (
 from .harness import ThroughputResult, ThroughputSearch, run_at_rate
 from .report import render_run, sparkline
 from .reporting import format_series, format_table, results_dir, save_results
+from .payload import (
+    VocabWeightTable,
+    bench_payload_overhead,
+    broadcast_wordcount_query,
+)
 from .speedup import bench_parallel_speedup, heavy_count_one
 
 __all__ = [
     "PAPER_TECHNIQUES",
     "ThroughputResult",
     "ThroughputSearch",
+    "VocabWeightTable",
     "bench_parallel_speedup",
+    "bench_payload_overhead",
+    "broadcast_wordcount_query",
     "fig6_assignment_tradeoffs",
     "fig10_partition_metrics",
     "fig11_throughput_vs_interval",

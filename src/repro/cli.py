@@ -39,6 +39,7 @@ from .bench import (
     save_results,
     table1_dataset_stats,
 )
+from .engine.executors import EXECUTOR_NAMES, ExecutorKind
 from .obs import ObservabilityConfig, format_trace_summary, summarize_trace
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -199,7 +200,7 @@ def _run_quickstart(args: argparse.Namespace) -> tuple[str, Any]:
             batch_interval=1.0,
             num_blocks=8,
             num_reducers=8,
-            executor=getattr(args, "backend", "serial"),
+            executor=getattr(args, "backend", ExecutorKind.SERIAL),
             executor_workers=getattr(args, "workers", None),
             max_task_retries=getattr(args, "task_retries", 2),
             task_timeout=getattr(args, "task_timeout", None),
@@ -218,6 +219,14 @@ def _run_quickstart(args: argparse.Namespace) -> tuple[str, Any]:
             f"{result.executor_speculative_wins} speculative wins, "
             f"{result.executor_timeout_trips} timeout trips, "
             f"{result.executor_fallbacks} serial fallbacks"
+        )
+        attempts = result.executor_task_attempts or 1
+        lines.append(
+            "payload: "
+            f"{result.executor_payload_bytes:,} task bytes "
+            f"({result.executor_payload_bytes / attempts:,.0f}/task), "
+            f"{result.executor_context_installs} context install(s) "
+            f"({result.executor_context_bytes:,} bytes)"
         )
     lines.append(f"throughput: {result.stats.throughput():,.0f} tuples/s")
     lines.append(f"mean latency: {result.stats.mean_latency():.3f}s")
@@ -332,8 +341,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     quick.add_argument(
         "--backend",
-        default="serial",
-        choices=["serial", "parallel"],
+        default=ExecutorKind.SERIAL.value,
+        choices=list(EXECUTOR_NAMES),
         help="execution backend for map/reduce tasks",
     )
     quick.add_argument(

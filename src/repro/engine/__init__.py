@@ -12,9 +12,12 @@ from .engine import EngineConfig, MicroBatchEngine, RunResult
 from .executors import (
     EXECUTOR_NAMES,
     ExecutionBackend,
+    ExecutorKind,
     ParallelExecutor,
     PayloadSerializationError,
+    RunContext,
     SerialExecutor,
+    StaleContextError,
     make_executor,
 )
 from .faults import (
@@ -58,8 +61,11 @@ __all__ = [
     "BucketInput",
     "EXECUTOR_NAMES",
     "ExecutionBackend",
+    "ExecutorKind",
     "ParallelExecutor",
+    "RunContext",
     "SerialExecutor",
+    "StaleContextError",
     "CheckpointManager",
     "Cluster",
     "ClusterConfig",

@@ -32,7 +32,7 @@ from ..queries.base import Query
 from ..workloads.source import StreamSource
 from .backpressure import BackpressureConfig, BackpressureMonitor
 from .cluster import Cluster, ClusterConfig
-from .executors import EXECUTOR_NAMES, ExecutionBackend, make_executor
+from .executors import EXECUTOR_NAMES, ExecutionBackend, ExecutorKind, make_executor
 from .faults import FailureInjector, RecoveryEvent, TaskFaultInjector
 from .lateness import LatenessConfig, LatenessMonitor
 from .receiver import Receiver
@@ -73,12 +73,19 @@ class EngineConfig:
     backpressure: BackpressureConfig = field(default_factory=BackpressureConfig)
     track_outputs: bool = True
     replicate_inputs: bool = False
-    #: execution backend dispatching Map/Reduce tasks: "serial" runs
-    #: them inline; "parallel" fans them out over a process pool with
-    #: bit-identical results (see repro.engine.executors)
-    executor: str = "serial"
+    #: execution backend dispatching Map/Reduce tasks:
+    #: ``ExecutorKind.SERIAL`` runs them inline, ``ExecutorKind.PARALLEL``
+    #: fans them out over a process pool with bit-identical results (see
+    #: repro.engine.executors).  Plain registry strings ("serial"/
+    #: "parallel") are accepted for back-compat and normalized to the
+    #: enum in ``__post_init__``.
+    executor: ExecutorKind = ExecutorKind.SERIAL
     #: worker processes for the parallel backend (None = auto)
     executor_workers: Optional[int] = None
+    #: broadcast the run-invariant slice (query, cost model, faults,
+    #: trace flag, run seed) once per pool generation and ship per-task
+    #: deltas; False restores the legacy full-payload-per-task dispatch
+    resident_context: bool = True
     #: root seed for per-task RNG derivation (run-level determinism)
     run_seed: int = 0
     #: bounded re-execution of transiently-failed task attempts (the
@@ -106,10 +113,14 @@ class EngineConfig:
             raise ValueError("num_blocks must be >= 1")
         if self.num_reducers < 1:
             raise ValueError("num_reducers must be >= 1")
-        if self.executor not in EXECUTOR_NAMES:
+        try:
+            # normalize registry strings to the enum (frozen dataclass,
+            # hence the object.__setattr__ escape hatch)
+            object.__setattr__(self, "executor", ExecutorKind(self.executor))
+        except ValueError:
             raise ValueError(
                 f"executor must be one of {EXECUTOR_NAMES}, got {self.executor!r}"
-            )
+            ) from None
         if self.executor_workers is not None and self.executor_workers < 1:
             raise ValueError("executor_workers must be >= 1 when set")
         if self.max_task_retries < 0:
@@ -149,6 +160,11 @@ class RunResult:
     executor_pool_resurrections: int = 0
     executor_speculative_wins: int = 0
     executor_timeout_trips: int = 0
+    #: driver→worker dispatch bytes for the whole run: pickled payload
+    #: bytes per launched attempt plus run-context broadcast traffic
+    executor_payload_bytes: int = 0
+    executor_context_installs: int = 0
+    executor_context_bytes: int = 0
     #: the run's tracer + metrics registry (no-op pair when the config
     #: did not enable observability); excluded from equality like every
     #: other observational field
@@ -198,6 +214,7 @@ class MicroBatchEngine:
             speculative=cfg.speculative_execution,
             max_pool_resurrections=cfg.max_pool_resurrections,
             fault_injector=self.task_fault_injector,
+            resident_context=cfg.resident_context,
         )
         backend.bind_observability(tracer, metrics)
         loop = EventLoop()
@@ -381,6 +398,9 @@ class MicroBatchEngine:
             executor_pool_resurrections=backend.pool_resurrections,
             executor_speculative_wins=backend.speculative_wins,
             executor_timeout_trips=backend.timeout_trips,
+            executor_payload_bytes=backend.payload_bytes,
+            executor_context_installs=backend.context_installs,
+            executor_context_bytes=backend.context_bytes,
             observability=obs,
         )
 
@@ -480,6 +500,9 @@ class MicroBatchEngine:
             pool_resurrections=execution.pool_resurrections,
             speculative_wins=execution.speculative_wins,
             timeout_trips=execution.timeout_trips,
+            payload_bytes=execution.payload_bytes,
+            context_installs=execution.context_installs,
+            context_bytes=execution.context_bytes,
         )
         stats.add(record)
         monitor.observe(k, record.load, record.queue_delay, record.batch_interval)

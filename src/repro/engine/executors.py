@@ -23,6 +23,25 @@ assumes.  Two backends ship:
 - the shuffle runs on the driver from Map results ordered by block id,
   so per-bucket partial lists have one canonical order.
 
+**Worker-resident run context.**  The run-invariant slice of every
+task — the query (and its aggregator), the reduce-allocation callable,
+the cost model, the fault-injection table, the trace flag and the run
+seed — is pickled *once* per pool generation into a :class:`RunContext`
+and installed in every worker process by the pool initializer plus a
+generation-stamped install task.  Per-task payloads then shrink to a
+delta of ``(context_generation, batch_index, task_id, block-or-bucket,
+…)``; the worker derives the task seed and looks up its injected fault
+from the resident context.  A pool resurrected after a
+``BrokenProcessPool`` re-installs the current context automatically
+(the rebuilt pool's initializer carries it), and a worker handed a
+delta stamped with a generation it never saw raises
+:class:`StaleContextError` — classified as an infrastructure failure,
+so the batch degrades to the serial fallback instead of computing from
+the wrong context.  ``resident_context=False`` restores the legacy
+full-payload-per-task dispatch (every task re-ships the whole slice);
+both modes are byte-identical in what they compute and both account
+driver→worker payload bytes.
+
 **Task-level fault tolerance.**  Section 8's exactly-once story —
 recompute lost work from replicated input — is applied at task
 granularity, the way Spark Streaming re-executes a failed task from
@@ -76,6 +95,7 @@ body with ``perf_counter`` and the per-batch totals feed
 from __future__ import annotations
 
 import abc
+import enum
 import logging
 import multiprocessing
 import os
@@ -84,7 +104,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 from ..core.batch import PartitionedBatch
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
@@ -110,9 +130,12 @@ log = logging.getLogger(__name__)
 
 __all__ = [
     "ExecutionBackend",
+    "ExecutorKind",
     "SerialExecutor",
     "ParallelExecutor",
+    "RunContext",
     "PayloadSerializationError",
+    "StaleContextError",
     "EXECUTOR_NAMES",
     "make_executor",
 ]
@@ -126,6 +149,22 @@ RETRYABLE_TASK_ERRORS: tuple[type[BaseException], ...] = (
 )
 
 
+class ExecutorKind(str, enum.Enum):
+    """The execution backends the engine can dispatch tasks on.
+
+    A ``str`` subclass so existing code (and configs) that compare
+    against the plain registry strings keeps working:
+    ``ExecutorKind.SERIAL == "serial"`` is true, and
+    ``str(ExecutorKind.PARALLEL)`` is ``"parallel"``.
+    """
+
+    SERIAL = "serial"
+    PARALLEL = "parallel"
+
+    def __str__(self) -> str:  # str(Enum) would print "ExecutorKind.SERIAL"
+        return self.value
+
+
 class PayloadSerializationError(RuntimeError):
     """A task payload could not be pickled on the driver.
 
@@ -134,6 +173,17 @@ class PayloadSerializationError(RuntimeError):
     question: serialization problems are caught here in the driver,
     so any ``TypeError``/``AttributeError`` coming back from a worker is
     the query's own and must propagate.
+    """
+
+
+class StaleContextError(RuntimeError):
+    """A task delta named a context generation this worker does not hold.
+
+    Raised in the worker before any computation happens, so a pool that
+    somehow missed its context install can never compute from the wrong
+    run-invariant slice.  Classified as an *infrastructure* failure (the
+    worker body never ran): the batch degrades to the serial fallback,
+    which needs no resident context at all.
     """
 
 
@@ -159,6 +209,11 @@ class ExecutionBackend(abc.ABC):
         self.pool_resurrections = 0
         self.speculative_wins = 0
         self.timeout_trips = 0
+        #: driver→worker dispatch accounting (the parallel backend
+        #: advances them; the serial reference ships no bytes anywhere)
+        self.payload_bytes = 0
+        self.context_installs = 0
+        self.context_bytes = 0
 
     @abc.abstractmethod
     def run_batch(
@@ -263,6 +318,127 @@ def _reduce_task_worker(payload: bytes, attempt: int = 0) -> ReduceTaskResult:
     return result
 
 
+# ----------------------------------------------------------------------
+# worker-resident run context (delta dispatch)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class RunContext:
+    """The run-invariant slice of every task, broadcast once per pool
+    generation instead of re-pickled into each task payload.
+
+    Holds everything a Map/Reduce task needs beyond its own block or
+    bucket: the query (whose aggregator the Reduce side uses), the
+    stateless reduce-allocation callable, the cost model, the full
+    fault-injection table, the trace flag, and the run seed the worker
+    derives per-task seeds from.  Frozen so a generation is immutable
+    once installed — a changed slice always means a new generation.
+    """
+
+    run_seed: int
+    query: Query
+    allocate: Callable
+    cost_model: TaskCostModel
+    faults: Mapping[tuple[int, str, int], TaskFault] | None
+    trace: bool
+
+    def fault_for(
+        self, batch_index: int, kind: str, task_id: int
+    ) -> TaskFault | None:
+        if self.faults is None:
+            return None
+        return self.faults.get((batch_index, kind, task_id))
+
+
+#: per-worker-process resident context (set by :func:`_install_context`)
+_worker_context: RunContext | None = None
+_worker_generation: int = -1
+
+
+def _install_context(generation: int, blob: bytes) -> int:
+    """Install the pickled run context in this worker process.
+
+    Runs through two channels per pool generation: as the pool
+    *initializer* in every spawned worker, and once more as a
+    generation-stamped install task whose round-trip confirms the pool
+    is live (and whose return value lets the driver verify the stamp)
+    before any real work is submitted.  A pool resurrected after a
+    ``BrokenProcessPool`` goes through both again, which is what makes
+    re-installation automatic.
+    """
+    global _worker_context, _worker_generation
+    _worker_context = pickle.loads(blob)
+    _worker_generation = generation
+    return generation
+
+
+def _context_for(generation: int) -> RunContext:
+    """The resident context, verified against the delta's generation."""
+    ctx = _worker_context
+    if ctx is None or _worker_generation != generation:
+        raise StaleContextError(
+            f"task delta references context generation {generation}, but "
+            f"this worker holds generation {_worker_generation}"
+            + ("" if ctx is not None else " (no context installed)")
+        )
+    return ctx
+
+
+def _map_task_delta_worker(payload: bytes, attempt: int = 0) -> MapTaskResult:
+    """Delta-dispatch Map entry point: batch-variant payload only.
+
+    The delta carries ``(generation, batch_index, task_id, block,
+    num_reducers, split_keys)``; the query, allocator, cost model, seed
+    root, fault table and trace flag all come from the resident
+    :class:`RunContext`.  The task seed is derived *here* from the
+    context's run seed — the same
+    :func:`~repro.engine.tasks.derive_task_seed` expression the driver
+    uses on the legacy path, so results stay byte-identical.
+    """
+    generation, batch_index, task_id, block, num_reducers, split_keys = (
+        pickle.loads(payload)
+    )
+    ctx = _context_for(generation)
+    started = time.time() if ctx.trace else 0.0
+    fault = ctx.fault_for(batch_index, "map", task_id)
+    if fault is not None:
+        fault.apply(attempt)
+    result = run_map_task(
+        block,
+        ctx.query,
+        ctx.allocate,
+        num_reducers,
+        split_keys,
+        ctx.cost_model,
+        derive_task_seed(ctx.run_seed, batch_index, "map", task_id),
+    )
+    if ctx.trace:
+        result.span = WorkerSpan(
+            pid=os.getpid(), start=started, end=time.time()
+        )
+    return result
+
+
+def _reduce_task_delta_worker(payload: bytes, attempt: int = 0) -> ReduceTaskResult:
+    """Delta-dispatch Reduce entry point: ``(generation, batch, task, bucket)``."""
+    generation, batch_index, task_id, bucket = pickle.loads(payload)
+    ctx = _context_for(generation)
+    started = time.time() if ctx.trace else 0.0
+    fault = ctx.fault_for(batch_index, "reduce", task_id)
+    if fault is not None:
+        fault.apply(attempt)
+    result = run_reduce_task(
+        bucket,
+        ctx.query.aggregator,
+        ctx.cost_model,
+        derive_task_seed(ctx.run_seed, batch_index, "reduce", task_id),
+    )
+    if ctx.trace:
+        result.span = WorkerSpan(
+            pid=os.getpid(), start=started, end=time.time()
+        )
+    return result
+
+
 def _is_infrastructure_error(exc: BaseException) -> bool:
     """Pool/serialization failures that warrant the serial fallback.
 
@@ -272,9 +448,18 @@ def _is_infrastructure_error(exc: BaseException) -> bool:
     failing to pickle a task's *result* on the way back.  A worker-raised
     ``TypeError``/``AttributeError`` — even one whose message mentions
     "pickle" — is the query's own bug and always propagates.
+    :class:`StaleContextError` is the one worker-raised member: it fires
+    *before* the task body (a worker without the right resident context
+    never computes), so it is a dispatch failure, not an application one.
     """
     return isinstance(
-        exc, (BrokenProcessPool, PayloadSerializationError, pickle.PicklingError)
+        exc,
+        (
+            BrokenProcessPool,
+            PayloadSerializationError,
+            StaleContextError,
+            pickle.PicklingError,
+        ),
     )
 
 
@@ -292,6 +477,14 @@ class _WaveCounters:
     resurrections: int = 0
     speculative_wins: int = 0
     timeout_trips: int = 0
+    payload_bytes: int = 0
+
+
+#: histogram bounds for driver→worker payload sizes (bytes, not seconds)
+PAYLOAD_BYTE_BUCKETS: tuple[float, ...] = (
+    256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+    262144.0, 1048576.0, 4194304.0, 16777216.0,
+)
 
 
 class ParallelExecutor(ExecutionBackend):
@@ -299,14 +492,17 @@ class ParallelExecutor(ExecutionBackend):
 
     The pool is created lazily on the first batch and reused for the
     whole run (fork start method where the platform offers it, so
-    workers inherit the loaded modules instead of re-importing).  Task
-    payloads carry only what the task needs — the data block or bucket,
-    the query, a *stateless* allocation callable
-    (:meth:`~repro.partitioners.base.Partitioner.reduce_allocation`),
-    the cost model, and an optional injected fault — never the engine
-    or partitioner state.  Payloads double as the task's replicated
-    input: any attempt can be re-run from them deterministically (see
-    the module docstring for the retry/resurrection/speculation rules).
+    workers inherit the loaded modules instead of re-importing).  With
+    ``resident_context`` (the default) the run-invariant slice — query,
+    allocation callable, cost model, fault table, trace flag, run seed —
+    is broadcast once per pool generation as a :class:`RunContext` and
+    each task ships only a generation-stamped delta (its block or
+    bucket); with ``resident_context=False`` every payload re-ships the
+    full slice, the original dispatch path.  Either way payloads never
+    carry engine or partitioner state, and they double as the task's
+    replicated input: any attempt can be re-run from them
+    deterministically (see the module docstring for the
+    retry/resurrection/speculation rules).
     """
 
     name = "parallel"
@@ -323,6 +519,7 @@ class ParallelExecutor(ExecutionBackend):
         speculative: bool = False,
         max_pool_resurrections: int = 2,
         fault_injector: TaskFaultInjector | None = None,
+        resident_context: bool = True,
     ) -> None:
         super().__init__(run_seed=run_seed)
         if max_workers is not None and max_workers < 1:
@@ -344,10 +541,100 @@ class ParallelExecutor(ExecutionBackend):
         self.speculative = speculative
         self.max_pool_resurrections = max_pool_resurrections
         self.fault_injector = fault_injector
+        self.resident_context = resident_context
         self._mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
+        #: monotonically increasing context-generation stamp; bumped
+        #: whenever the run-invariant slice changes (so a worker can
+        #: detect a delta minted for a slice it never received)
+        self._generation = 0
+        self._context: RunContext | None = None
+        self._context_blob: bytes | None = None
+        self._context_signature: object = None
 
     # ------------------------------------------------------------------
+    def _ensure_context(
+        self,
+        query: Query,
+        allocate: Callable,
+        cost_model: TaskCostModel,
+        trace: bool,
+    ) -> None:
+        """(Re-)pickle the run-invariant slice when it changed.
+
+        Two-level change detection.  Fast path: the exact objects of the
+        installed generation (by identity for the query and cost model —
+        the engine passes the same ones every batch — and by equality
+        for the allocation callable, since partitioners may hand out a
+        fresh-but-equal bound method per batch).  Slow path: pickle the
+        candidate slice and compare bytes with the installed blob — a
+        caller constructing equivalent objects per batch (common in
+        tests and ad-hoc drivers) still reuses the generation, because
+        identical bytes install identical worker state.  Only a blob
+        that truly differs retires the current pool — its workers hold
+        the old slice — and mints a new generation.
+        """
+        injector = self.fault_injector
+        faults = injector.snapshot() if injector is not None else None
+        signature = (
+            id(query),
+            allocate,
+            id(cost_model),
+            self.run_seed,
+            trace,
+            None if faults is None else tuple(sorted(faults.items())),
+        )
+        if (
+            self._context_blob is not None
+            and signature == self._context_signature
+        ):
+            return
+        context = RunContext(
+            run_seed=self.run_seed,
+            query=query,
+            allocate=allocate,
+            cost_model=cost_model,
+            faults=faults,
+            trace=trace,
+        )
+        try:
+            blob = pickle.dumps(context)
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise PayloadSerializationError(
+                f"run context is not picklable — {type(exc).__name__}: {exc}"
+            ) from exc
+        if blob == self._context_blob:
+            # byte-identical slice: adopt the new objects' identities so
+            # the fast path hits next batch, keep pool and generation
+            self._context = context
+            self._context_signature = signature
+            return
+        self.close()  # workers holding the old slice must not serve the new one
+        self._generation += 1
+        # pinning the context keeps query/cost_model alive, so the id()s
+        # in the signature can never be recycled onto different objects
+        self._context = context
+        self._context_blob = blob
+        self._context_signature = signature
+        log.debug(
+            "run context generation %d prepared (%d bytes)",
+            self._generation, len(blob),
+        )
+
+    def _record_install(self) -> None:
+        blob_bytes = len(self._context_blob or b"")
+        self.context_installs += 1
+        self.context_bytes += blob_bytes
+        self.metrics.counter(
+            "prompt_context_install_total",
+            "Run-context broadcasts installed into worker pools",
+        ).inc()
+        self.tracer.event(
+            "context_install",
+            generation=self._generation,
+            bytes=blob_bytes,
+        )
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             ctx = self._mp_context
@@ -356,9 +643,33 @@ class ParallelExecutor(ExecutionBackend):
                 ctx = multiprocessing.get_context(
                     "fork" if "fork" in methods else None
                 )
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.max_workers, mp_context=ctx
-            )
+            if self.resident_context and self._context_blob is not None:
+                # Every worker the pool ever spawns installs the context
+                # via the initializer; the install *task* both confirms
+                # the pool is live before real work goes in and charges
+                # exactly one install per pool generation to the
+                # counters — resurrections re-enter here and pay again.
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=ctx,
+                    initializer=_install_context,
+                    initargs=(self._generation, self._context_blob),
+                )
+                # _pool is assigned before the probe so a BrokenProcessPool
+                # raised here is salvaged by the wave loop, not leaked.
+                confirmed = self._pool.submit(
+                    _install_context, self._generation, self._context_blob
+                ).result()
+                if confirmed != self._generation:
+                    raise StaleContextError(
+                        f"context install returned generation {confirmed}, "
+                        f"expected {self._generation}"
+                    )
+                self._record_install()
+            else:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers, mp_context=ctx
+                )
         return self._pool
 
     def close(self) -> None:
@@ -525,6 +836,16 @@ class ParallelExecutor(ExecutionBackend):
                 outstanding[tid] += 1
                 counters.attempts += 1
                 self.task_attempts += 1
+                # every launched attempt ships its payload again, so the
+                # byte accounting charges per attempt, not per task
+                nbytes = len(payloads[tid])
+                counters.payload_bytes += nbytes
+                self.payload_bytes += nbytes
+                self.metrics.histogram(
+                    "prompt_task_payload_bytes",
+                    "Pickled driver-to-worker payload size per task attempt",
+                    buckets=PAYLOAD_BYTE_BUCKETS,
+                ).observe(nbytes)
                 pending[future] = (tid, speculative)
                 if self.task_timeout is not None:
                     deadlines[tid] = time.monotonic() + self.task_timeout
@@ -628,6 +949,7 @@ class ParallelExecutor(ExecutionBackend):
                     attempt=won_attempt[tid],
                     retries=failures[tid],
                     speculative=won_speculative[tid],
+                    payload_bytes=len(payloads[tid]),
                 )
         return results
 
@@ -655,47 +977,84 @@ class ParallelExecutor(ExecutionBackend):
 
         counters = _WaveCounters()
         trace = self.tracer.enabled
+        installs_before = self.context_installs
+        context_bytes_before = self.context_bytes
         try:
-            map_payloads = self._pickle_payloads(
-                [
-                    (
-                        fault_for("map", block.index),
-                        trace,
-                        block,
-                        query,
-                        allocate,
-                        num_reducers,
-                        {k for k in split if k in block},
-                        cost_model,
-                        derive_task_seed(self.run_seed, batch_index, "map", block.index),
-                    )
-                    for block in batch.blocks
-                ]
-            )
+            if self.resident_context:
+                self._ensure_context(query, allocate, cost_model, trace)
+                map_worker: Callable = _map_task_delta_worker
+                map_payloads = self._pickle_payloads(
+                    [
+                        (
+                            self._generation,
+                            batch_index,
+                            block.index,
+                            block,
+                            num_reducers,
+                            {k for k in split if k in block},
+                        )
+                        for block in batch.blocks
+                    ]
+                )
+            else:
+                map_worker = _map_task_worker
+                map_payloads = self._pickle_payloads(
+                    [
+                        (
+                            fault_for("map", block.index),
+                            trace,
+                            block,
+                            query,
+                            allocate,
+                            num_reducers,
+                            {k for k in split if k in block},
+                            cost_model,
+                            derive_task_seed(
+                                self.run_seed, batch_index, "map", block.index
+                            ),
+                        )
+                        for block in batch.blocks
+                    ]
+                )
             map_results: list[MapTaskResult] = self._run_tasks(
-                _map_task_worker, map_payloads, counters, "map", batch_index
+                map_worker, map_payloads, counters, "map", batch_index
             )
             with self.tracer.span("shuffle", batch=batch_index):
                 buckets: list[BucketInput] = shuffle_map_results(
                     map_results, num_reducers, topology
                 )
-            reduce_payloads = self._pickle_payloads(
-                [
-                    (
-                        fault_for("reduce", bucket.bucket_index),
-                        trace,
-                        bucket,
-                        query.aggregator,
-                        cost_model,
-                        derive_task_seed(
-                            self.run_seed, batch_index, "reduce", bucket.bucket_index
-                        ),
-                    )
-                    for bucket in buckets
-                ]
-            )
+            if self.resident_context:
+                reduce_worker: Callable = _reduce_task_delta_worker
+                reduce_payloads = self._pickle_payloads(
+                    [
+                        (
+                            self._generation,
+                            batch_index,
+                            bucket.bucket_index,
+                            bucket,
+                        )
+                        for bucket in buckets
+                    ]
+                )
+            else:
+                reduce_worker = _reduce_task_worker
+                reduce_payloads = self._pickle_payloads(
+                    [
+                        (
+                            fault_for("reduce", bucket.bucket_index),
+                            trace,
+                            bucket,
+                            query.aggregator,
+                            cost_model,
+                            derive_task_seed(
+                                self.run_seed, batch_index, "reduce", bucket.bucket_index
+                            ),
+                        )
+                        for bucket in buckets
+                    ]
+                )
             reduce_results: list[ReduceTaskResult] = self._run_tasks(
-                _reduce_task_worker, reduce_payloads, counters, "reduce", batch_index
+                reduce_worker, reduce_payloads, counters, "reduce", batch_index
             )
         except BaseException as exc:
             if isinstance(exc, BrokenProcessPool):
@@ -716,14 +1075,17 @@ class ParallelExecutor(ExecutionBackend):
             pool_resurrections=counters.resurrections,
             speculative_wins=counters.speculative_wins,
             timeout_trips=counters.timeout_trips,
+            payload_bytes=counters.payload_bytes,
+            context_installs=self.context_installs - installs_before,
+            context_bytes=self.context_bytes - context_bytes_before,
         )
 
 
-EXECUTOR_NAMES: tuple[str, ...] = ("serial", "parallel")
+EXECUTOR_NAMES: tuple[str, ...] = tuple(kind.value for kind in ExecutorKind)
 
 
 def make_executor(
-    name: str,
+    name: str | ExecutorKind,
     *,
     max_workers: int | None = None,
     run_seed: int = 0,
@@ -733,27 +1095,31 @@ def make_executor(
     speculative: bool = False,
     max_pool_resurrections: int = 2,
     fault_injector: TaskFaultInjector | None = None,
+    resident_context: bool = True,
 ) -> ExecutionBackend:
-    """Build an execution backend by registry name.
+    """Build an execution backend by :class:`ExecutorKind` or its name.
 
     The fault-tolerance knobs (retries, timeout, speculation,
-    resurrection budget, injector) only apply to the parallel backend;
-    the serial reference executes tasks inline where there is nothing to
-    retry, time out, or resurrect.
+    resurrection budget, injector) and ``resident_context`` only apply
+    to the parallel backend; the serial reference executes tasks inline
+    where there is nothing to retry, time out, resurrect — or broadcast.
     """
-    if name == "serial":
+    try:
+        kind = ExecutorKind(name)
+    except ValueError:
+        raise ValueError(
+            f"unknown executor {name!r}; available: {', '.join(EXECUTOR_NAMES)}"
+        ) from None
+    if kind is ExecutorKind.SERIAL:
         return SerialExecutor(run_seed=run_seed)
-    if name == "parallel":
-        return ParallelExecutor(
-            max_workers,
-            run_seed=run_seed,
-            fallback_to_serial=fallback_to_serial,
-            max_task_retries=max_task_retries,
-            task_timeout=task_timeout,
-            speculative=speculative,
-            max_pool_resurrections=max_pool_resurrections,
-            fault_injector=fault_injector,
-        )
-    raise ValueError(
-        f"unknown executor {name!r}; available: {', '.join(EXECUTOR_NAMES)}"
+    return ParallelExecutor(
+        max_workers,
+        run_seed=run_seed,
+        fallback_to_serial=fallback_to_serial,
+        max_task_retries=max_task_retries,
+        task_timeout=task_timeout,
+        speculative=speculative,
+        max_pool_resurrections=max_pool_resurrections,
+        fault_injector=fault_injector,
+        resident_context=resident_context,
     )

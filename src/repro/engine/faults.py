@@ -234,3 +234,14 @@ class TaskFaultInjector:
     ) -> Optional[TaskFault]:
         """The fault plan for one coordinate, or ``None``."""
         return self._faults.get((batch_index, kind, task_id))
+
+    def snapshot(self) -> dict[tuple[int, str, int], TaskFault]:
+        """A copy of the full fault table, keyed by coordinate.
+
+        The worker-resident :class:`~repro.engine.executors.RunContext`
+        broadcasts this once per pool generation so workers can look up
+        their own faults instead of receiving them per payload; it is a
+        copy, so later ``crash``/``poison``/``delay`` registrations
+        cannot mutate an already-installed generation behind its back.
+        """
+        return dict(self._faults)

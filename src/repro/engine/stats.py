@@ -79,6 +79,14 @@ class BatchRecord:
     pool_resurrections: int = field(default=0, compare=False)
     speculative_wins: int = field(default=0, compare=False)
     timeout_trips: int = field(default=0, compare=False)
+    #: driver→worker dispatch bytes (pickled payloads per launched
+    #: attempt, and run-context broadcasts attributed to this batch).
+    #: Dispatch-side observations like the tallies above, so likewise
+    #: excluded from equality: a delta-dispatch run and a full-payload
+    #: run must still compare equal record for record.
+    payload_bytes: int = field(default=0, compare=False)
+    context_installs: int = field(default=0, compare=False)
+    context_bytes: int = field(default=0, compare=False)
 
     @property
     def partition_elapsed(self) -> float:
@@ -229,6 +237,19 @@ class RunStats:
     def total_timeout_trips(self) -> int:
         """Per-task timeout deadlines that expired with the task running."""
         return sum(r.timeout_trips for r in self.records)
+
+    # -- dispatch bytes (parallel backend) ---------------------------------
+    def total_payload_bytes(self) -> int:
+        """Pickled driver→worker payload bytes over every launched attempt."""
+        return sum(r.payload_bytes for r in self.records)
+
+    def total_context_installs(self) -> int:
+        """Run-context broadcasts installed into worker pools."""
+        return sum(r.context_installs for r in self.records)
+
+    def total_context_bytes(self) -> int:
+        """Bytes shipped by run-context broadcasts (installs × blob size)."""
+        return sum(r.context_bytes for r in self.records)
 
     # -- figure extracts ----------------------------------------------
     def reduce_time_series(self) -> list[tuple[int, float, float]]:

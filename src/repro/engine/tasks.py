@@ -188,6 +188,13 @@ class BatchExecution:
     pool_resurrections: int = 0
     speculative_wins: int = 0
     timeout_trips: int = 0
+    #: driver→worker dispatch bytes for this batch: pickled payload
+    #: bytes summed over every launched attempt, plus any run-context
+    #: broadcasts (installs × blob size) that happened during the batch.
+    #: Serial execution ships nothing, so all three stay 0.
+    payload_bytes: int = 0
+    context_installs: int = 0
+    context_bytes: int = 0
 
     @property
     def map_durations(self) -> list[float]:

@@ -214,10 +214,25 @@ TASK_SPAN_NAMES = ("map_task", "reduce_task")
 
 
 def summarize_trace(path: str | Path, top_k: int = 5) -> dict[str, Any]:
-    """Per-phase wall-clock breakdown and top-k slowest tasks."""
+    """Per-phase wall-clock breakdown, top-k slowest tasks, payload bytes.
+
+    The ``payload`` section aggregates the delta-dispatch accounting the
+    parallel backend stitches into the trace: per-task payload sizes
+    (the ``payload_bytes`` attr on ``map_task``/``reduce_task`` spans)
+    and run-context broadcasts (``context_install`` events).  Traces
+    from serial runs have neither, so every figure reads 0.
+    """
     events = read_chrome_trace(path)
     phases: dict[str, dict[str, float]] = {}
     tasks: list[dict[str, Any]] = []
+    payload = {
+        "task_payload_bytes": 0,
+        "tasks_with_payload": 0,
+        "mean_bytes_per_task": 0.0,
+        "max_bytes_per_task": 0,
+        "context_installs": 0,
+        "context_bytes": 0,
+    }
     for ev in events:
         if ev.get("ph") != "X":
             continue
@@ -229,8 +244,18 @@ def summarize_trace(path: str | Path, top_k: int = 5) -> dict[str, Any]:
         agg["count"] += 1
         agg["total_s"] += dur
         agg["max_s"] = max(agg["max_s"], dur)
+        if name == "context_install":
+            payload["context_installs"] += 1
+            payload["context_bytes"] += int(ev.get("args", {}).get("bytes", 0))
         if name in TASK_SPAN_NAMES:
             args = ev.get("args", {})
+            nbytes = args.get("payload_bytes")
+            if nbytes is not None:
+                payload["task_payload_bytes"] += int(nbytes)
+                payload["tasks_with_payload"] += 1
+                payload["max_bytes_per_task"] = max(
+                    payload["max_bytes_per_task"], int(nbytes)
+                )
             tasks.append(
                 {
                     "phase": name,
@@ -243,8 +268,12 @@ def summarize_trace(path: str | Path, top_k: int = 5) -> dict[str, Any]:
             )
     for agg in phases.values():
         agg["mean_s"] = agg["total_s"] / agg["count"] if agg["count"] else 0.0
+    if payload["tasks_with_payload"]:
+        payload["mean_bytes_per_task"] = (
+            payload["task_payload_bytes"] / payload["tasks_with_payload"]
+        )
     tasks.sort(key=lambda t: t["duration_s"], reverse=True)
-    return {"phases": phases, "slowest_tasks": tasks[:top_k]}
+    return {"phases": phases, "slowest_tasks": tasks[:top_k], "payload": payload}
 
 
 def format_trace_summary(summary: dict[str, Any]) -> str:
@@ -267,4 +296,21 @@ def format_trace_summary(summary: dict[str, Any]) -> str:
                 f"  {t['phase']}[{t['task_id']}] batch={t['batch']} "
                 f"attempt={t['attempt']} pid={t['pid']} {t['duration_s']:.6f}s"
             )
+    payload = summary.get("payload")
+    if payload and (
+        payload["task_payload_bytes"] or payload["context_installs"]
+    ):
+        # only traces from delta-accounting runs carry this data, so the
+        # section is omitted for (older or serial) traces without it
+        lines.append("payload:")
+        lines.append(
+            f"  task payloads   {payload['task_payload_bytes']:>12,} bytes over "
+            f"{payload['tasks_with_payload']} task(s) "
+            f"(mean {payload['mean_bytes_per_task']:,.0f}, "
+            f"max {payload['max_bytes_per_task']:,})"
+        )
+        lines.append(
+            f"  context installs {payload['context_installs']:>11,} "
+            f"({payload['context_bytes']:,} bytes broadcast)"
+        )
     return "\n".join(lines)

@@ -12,8 +12,10 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.batch import BatchInfo
 from repro.core.tuples import StreamTuple
+from repro.engine.engine import EngineConfig
 from repro.engine.executors import (
     EXECUTOR_NAMES,
+    ExecutorKind,
     ParallelExecutor,
     PayloadSerializationError,
     SerialExecutor,
@@ -67,6 +69,34 @@ def test_task_seed_fits_in_63_bits():
 
 
 # ----------------------------------------------------------------------
+# ExecutorKind
+# ----------------------------------------------------------------------
+def test_executor_kind_is_string_compatible():
+    """The enum replaced stringly-typed config without breaking either
+    direction: members equal their registry strings and render as them."""
+    assert ExecutorKind.SERIAL == "serial"
+    assert ExecutorKind.PARALLEL == "parallel"
+    assert str(ExecutorKind.PARALLEL) == "parallel"
+    assert f"{ExecutorKind.SERIAL}" == "serial"
+    assert ExecutorKind("parallel") is ExecutorKind.PARALLEL
+    assert EXECUTOR_NAMES == tuple(kind.value for kind in ExecutorKind)
+
+
+def test_engine_config_normalizes_executor_strings():
+    assert EngineConfig().executor is ExecutorKind.SERIAL
+    assert EngineConfig(executor="parallel").executor is ExecutorKind.PARALLEL
+    assert (
+        EngineConfig(executor=ExecutorKind.PARALLEL).executor
+        is ExecutorKind.PARALLEL
+    )
+
+
+def test_engine_config_rejects_unknown_executor():
+    with pytest.raises(ValueError, match="executor must be one of"):
+        EngineConfig(executor="gpu")
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 def test_make_executor_builds_both_backends():
@@ -76,6 +106,24 @@ def test_make_executor_builds_both_backends():
     assert parallel.max_workers == 2
     assert parallel.run_seed == 5
     parallel.close()
+
+
+def test_make_executor_accepts_enum_members():
+    make_executor(ExecutorKind.SERIAL).close()
+    backend = make_executor(ExecutorKind.PARALLEL, max_workers=2)
+    assert isinstance(backend, ParallelExecutor)
+    backend.close()
+
+
+def test_make_executor_passes_resident_context_knob():
+    on = make_executor("parallel", max_workers=2)
+    off = make_executor("parallel", max_workers=2, resident_context=False)
+    try:
+        assert on.resident_context is True
+        assert off.resident_context is False
+    finally:
+        on.close()
+        off.close()
 
 
 def test_make_executor_rejects_unknown_name():

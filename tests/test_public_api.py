@@ -1,0 +1,105 @@
+"""The frozen v0 public surface: ``repro.__all__`` vs ``docs/api.md``.
+
+Three-way agreement, so the surface cannot drift silently:
+
+1. the literal ``V0_SURFACE`` list below (the freeze itself — changing
+   the public API means editing this test, which is the point),
+2. ``repro.__all__`` as shipped,
+3. the symbol table under "The frozen v0 surface" in ``docs/api.md``.
+
+Everything deeper than ``import repro`` (``repro.engine.*``,
+``repro.core.*``, ...) stays importable but carries no stability
+promise, so it is deliberately not covered here.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import repro
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+#: The curated v0 surface, frozen. Additions are allowed in v0 (append
+#: here and to the docs table); removals or renames are a breaking
+#: change and need a deprecation story first.
+V0_SURFACE = [
+    "AccumulatorConfig",
+    "AutoScaler",
+    "BatchInfo",
+    "CountTree",
+    "ElasticityConfig",
+    "EngineConfig",
+    "ExecutorKind",
+    "MPIWeights",
+    "MicroBatchAccumulator",
+    "MicroBatchEngine",
+    "ObservabilityConfig",
+    "PartitionedBatch",
+    "PromptBatchPartitioner",
+    "PromptConfig",
+    "Query",
+    "ReduceBucketAllocator",
+    "RunObservability",
+    "RunResult",
+    "StreamTuple",
+    "WindowSpec",
+    "__version__",
+    "evaluate_partition",
+    "make_partitioner",
+    "run",
+]
+
+
+def _documented_surface() -> list[str]:
+    """Parse the symbol column of the api.md frozen-surface table."""
+    text = (DOCS / "api.md").read_text(encoding="utf-8")
+    match = re.search(
+        r"^## The frozen v0 surface.*?$(.*?)(?=^## )",
+        text,
+        re.MULTILINE | re.DOTALL,
+    )
+    assert match, "docs/api.md lost its 'The frozen v0 surface' section"
+    section = match.group(1)
+    # Stop at the migration-notes subsection so prose backticks there
+    # cannot leak into the parsed surface.
+    section = section.split("### ")[0]
+    symbols = re.findall(r"^\| `([A-Za-z_][A-Za-z0-9_]*)` \|", section, re.MULTILINE)
+    assert symbols, "frozen-surface table has no parseable rows"
+    return symbols
+
+
+def test_all_matches_the_freeze():
+    assert list(repro.__all__) == V0_SURFACE
+
+
+def test_all_is_sorted_and_duplicate_free():
+    assert list(repro.__all__) == sorted(set(repro.__all__))
+
+
+def test_every_exported_name_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_docs_table_matches_all():
+    documented = _documented_surface()
+    assert len(documented) == len(set(documented)), "duplicate doc rows"
+    missing = set(repro.__all__) - set(documented)
+    extra = set(documented) - set(repro.__all__)
+    assert not missing, f"exported but undocumented in api.md: {sorted(missing)}"
+    assert not extra, f"documented but not exported: {sorted(extra)}"
+
+
+def test_run_signature_is_the_documented_one():
+    import inspect
+
+    params = inspect.signature(repro.run).parameters
+    names = list(params)
+    assert names[:2] == ["source", "query"]
+    assert params["partitioner"].default == "prompt"
+    assert "num_batches" in params
+    assert any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    ), "repro.run must forward **config to EngineConfig"
