@@ -1,0 +1,77 @@
+"""Pipelined-driver overlap benchmark and its CI gate.
+
+Runs a CPU-heavy WordCount (crc32-mixing Map bodies) over a high-rate
+Zipf stream through the accumulator partitioner — both sides of the
+pipeline genuinely expensive — at ``pipeline_depth`` 1 and 2 on the
+parallel backend.  The bench asserts byte-identical outputs between
+depths before reporting any number, so the artifact can never show a
+speedup obtained by changing the answer.
+
+This is also the regression gate for the pipelined driver: depth 2 must
+finish in at most 0.9x the depth-1 wall-clock, and the overlap
+accounting must show real reclaimed execution time.  A second probe
+gates the ingest fast path: the one-lookup ``HTable.append`` must not
+be slower than the two-lookup idiom it replaced.
+
+Artifact: ``benchmarks/results/BENCH_pipeline_overlap.json``.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    bench_ingest_fast_path,
+    bench_pipeline_overlap,
+    format_table,
+)
+
+
+def test_pipeline_overlap(benchmark, record_experiment):
+    rows = benchmark.pedantic(
+        lambda: bench_pipeline_overlap(
+            rate=6_000.0,
+            num_batches=6,
+            num_keys=2_000,
+            exponent=1.1,
+            num_blocks=8,
+            vocab_size=5_000,
+            workers=2,
+            repeats=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    ingest = bench_ingest_fast_path()
+    record_experiment(
+        "BENCH_pipeline_overlap",
+        format_table(rows, title="Pipelined driver: wall-clock by depth")
+        + "\n"
+        + format_table([ingest], title="Ingest fast path: ns per tuple"),
+        {"overlap": rows, "ingest": ingest},
+    )
+    assert len(rows) == 2
+    for row in rows:
+        # output equality is asserted inside the bench; re-check the flag
+        assert row["OutputsIdentical"] is True
+        assert row["WallSeconds"] > 0
+    depth1 = next(r for r in rows if r["Depth"] == 1)
+    depth2 = next(r for r in rows if r["Depth"] == 2)
+    # depth 1 is the synchronous path: no handle joins, no overlap
+    assert depth1["OverlapSeconds"] == 0.0
+    assert depth1["StallSeconds"] == 0.0
+    # the pipelined run really overlapped execution with driver work
+    assert depth2["OverlapSeconds"] > 0.0
+    # The acceptance gate: overlapping batch k+1's ingest/partition with
+    # batch k's execution must buy at least 10% of the sequential wall.
+    ratio = depth2["WallSeconds"] / depth1["WallSeconds"]
+    assert ratio <= 0.9, (
+        f"expected depth-2 wall <= 0.9x depth-1, got {ratio:.3f}x "
+        f"({depth1['WallSeconds']:.3f}s -> {depth2['WallSeconds']:.3f}s)"
+    )
+    # The ingest fast path: one dict probe per tuple instead of two must
+    # not be slower (it is typically ~1.2x faster; the gate only demands
+    # parity so clock noise cannot flake CI).
+    assert ingest["Speedup"] >= 1.0, (
+        f"one-lookup append slower than the two-lookup idiom: "
+        f"{ingest['TwoLookupNsPerTuple']:.0f} -> "
+        f"{ingest['OneLookupNsPerTuple']:.0f} ns/tuple"
+    )

@@ -48,9 +48,9 @@ def run(
     :class:`~repro.partitioners.base.Partitioner`.  Every remaining
     keyword argument becomes an :class:`~repro.engine.engine.EngineConfig`
     field (``executor="parallel"``, ``num_blocks=16``,
-    ``run_seed=7``, ...), so anything a full engine setup can express is
-    reachable from here — an unknown keyword raises the same ``TypeError``
-    the config dataclass would.
+    ``run_seed=7``, ``pipeline_depth=2``, ...), so anything a full
+    engine setup can express is reachable from here — an unknown
+    keyword raises the same ``TypeError`` the config dataclass would.
 
     Returns the ordinary :class:`~repro.engine.engine.RunResult`; the
     engine (and any worker pool its executor spawned) is torn down

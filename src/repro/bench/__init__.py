@@ -20,6 +20,7 @@ from .payload import (
     bench_payload_overhead,
     broadcast_wordcount_query,
 )
+from .pipeline import bench_ingest_fast_path, bench_pipeline_overlap
 from .speedup import bench_parallel_speedup, heavy_count_one
 
 __all__ = [
@@ -27,8 +28,10 @@ __all__ = [
     "ThroughputResult",
     "ThroughputSearch",
     "VocabWeightTable",
+    "bench_ingest_fast_path",
     "bench_parallel_speedup",
     "bench_payload_overhead",
+    "bench_pipeline_overlap",
     "broadcast_wordcount_query",
     "fig6_assignment_tradeoffs",
     "fig10_partition_metrics",

@@ -205,6 +205,7 @@ def _run_quickstart(args: argparse.Namespace) -> tuple[str, Any]:
             max_task_retries=getattr(args, "task_retries", 2),
             task_timeout=getattr(args, "task_timeout", None),
             speculative_execution=getattr(args, "speculate", False),
+            pipeline_depth=getattr(args, "pipeline_depth", 1),
             observability=_obs_config(args),
         ),
     )
@@ -230,6 +231,13 @@ def _run_quickstart(args: argparse.Namespace) -> tuple[str, Any]:
         )
     lines.append(f"throughput: {result.stats.throughput():,.0f} tuples/s")
     lines.append(f"mean latency: {result.stats.mean_latency():.3f}s")
+    overlap = result.stats.total_pipeline_overlap_seconds()
+    if overlap > 0:  # only the pipelined driver produces overlap
+        lines.append(
+            f"pipeline overlap: {overlap:.3f}s of execution ran while the "
+            f"driver ingested later batches "
+            f"(stalls: {result.stats.total_pipeline_wait_seconds():.3f}s)"
+        )
     top = select_top_k(result.final_window_answer(), 5)
     for word, count in top:
         lines.append(f"  {word:>8}  {count}")
@@ -368,6 +376,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="duplicate stragglers past the deadline and race the copies "
         "(requires --task-timeout)",
+    )
+    quick.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=1,
+        help="batches the driver may keep in flight: 2+ overlaps batch "
+        "k+1's ingest/partition with batch k's execution (results stay "
+        "byte-identical; default 1 = strictly sequential)",
     )
 
     trace = sub.add_parser("trace", help="inspect a written trace file")

@@ -23,6 +23,7 @@ quantifies what that post-sort would cost).
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
@@ -63,10 +64,18 @@ class AccumulatedBatch:
         return self.tuple_count / interval if interval > 0 else float(self.tuple_count)
 
     def arrival_order(self) -> list[StreamTuple]:
-        """All tuples re-sorted by timestamp (for order-sensitive baselines)."""
-        out = [t for g in self.key_groups for t in g.tuples]
-        out.sort(key=lambda t: t.ts)
-        return out
+        """All tuples re-sorted by timestamp (for order-sensitive baselines).
+
+        Each per-key chain is already in arrival (timestamp) order —
+        tuples are appended as they arrive — so a K-way merge
+        reconstructs the global order in ``O(N log K)`` instead of
+        re-sorting the concatenation in ``O(N log N)``.  ``heapq.merge``
+        breaks timestamp ties by iterable position, exactly how a stable
+        sort of the concatenation would, so the output is identical.
+        """
+        return list(
+            heapq.merge(*(g.tuples for g in self.key_groups), key=lambda t: t.ts)
+        )
 
     def sort_quality(self) -> float:
         """Fraction of adjacent group pairs in correct (descending) exact order.
@@ -172,9 +181,8 @@ class MicroBatchAccumulator:
         """
         info = self.info
         when = t.ts if now is None else now
-        known = t.key in self.htable
-        record = self.htable.append(t)
-        if not known:
+        record, was_new = self.htable.append(t)
+        if was_new:
             self._register_new_key(record, when, info)
             return
         if self.exact_updates:
@@ -222,9 +230,15 @@ class MicroBatchAccumulator:
         return batch
 
     def accept_all(self, tuples: Iterable[StreamTuple]) -> None:
-        """Bulk-feed tuples (simulator convenience)."""
+        """Bulk-feed tuples (simulator convenience).
+
+        The bound-method hoist matters here: this loop is the receiver's
+        per-interval ingest path, and re-resolving ``self.accept`` per
+        tuple is measurable at high arrival rates.
+        """
+        accept = self.accept
         for t in tuples:
-            self.accept(t)
+            accept(t)
 
     # ------------------------------------------------------------------
     # internals

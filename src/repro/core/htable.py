@@ -90,13 +90,23 @@ class HTable:
             self._records[key] = record
         return record
 
-    def append(self, t: StreamTuple) -> KeyRecord:
-        """Chain ``t`` under its key and return the (possibly new) record."""
-        record = self.record_for(t.key)
+    def append(self, t: StreamTuple) -> tuple[KeyRecord, bool]:
+        """Chain ``t`` under its key; return ``(record, was_new)``.
+
+        One dict probe per tuple: the ingest hot path (Algorithm 1 runs
+        this for *every* arriving tuple) needs the was-this-key-known
+        answer anyway, and a separate ``in`` check would pay the hash
+        and lookup twice.
+        """
+        record = self._records.get(t.key)
+        was_new = record is None
+        if was_new:
+            record = KeyRecord(key=t.key)
+            self._records[t.key] = record
         record.append(t)
         self._tuple_count += 1
         self._weight += t.weight
-        return record
+        return record, was_new
 
     def clear(self) -> None:
         """End-of-interval reset (Algorithm 1, line 1)."""

@@ -16,6 +16,8 @@ and Reduce tasks used for subsequent batches.
 from __future__ import annotations
 
 import logging
+import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -32,7 +34,13 @@ from ..queries.base import Query
 from ..workloads.source import StreamSource
 from .backpressure import BackpressureConfig, BackpressureMonitor
 from .cluster import Cluster, ClusterConfig
-from .executors import EXECUTOR_NAMES, ExecutionBackend, ExecutorKind, make_executor
+from .executors import (
+    EXECUTOR_NAMES,
+    BatchHandle,
+    ExecutionBackend,
+    ExecutorKind,
+    make_executor,
+)
 from .faults import FailureInjector, RecoveryEvent, TaskFaultInjector
 from .lateness import LatenessConfig, LatenessMonitor
 from .receiver import Receiver
@@ -101,6 +109,17 @@ class EngineConfig:
     #: broken-pool rebuilds allowed per task wave before the batch
     #: degrades to the serial fallback
     max_pool_resurrections: int = 2
+    #: bounded two-stage pipelining of the driver (Section 2.1 /
+    #: Figure 2: interval k+1 buffers *while* interval k processes).
+    #: 1 (the default) keeps today's strictly sequential
+    #: collect→partition→execute heartbeat; 2 dispatches batch k
+    #: asynchronously (``submit_batch``) and overlaps batch k+1's
+    #: ingest/partition with its execution, joining handles in batch
+    #: order so results stay byte-identical.  Clamped back to 1 (with a
+    #: warning) when elasticity or batch sizing is configured: those
+    #: feedback loops steer batch k+1 from batch k's completion, which
+    #: pipelining would hand them late.
+    pipeline_depth: int = 1
     #: span tracing + metrics for this run (None = fully disabled; the
     #: no-op path adds no measurable overhead and never perturbs the
     #: determinism contract — see repro.obs)
@@ -129,11 +148,34 @@ class EngineConfig:
             raise ValueError("task_timeout must be positive when set")
         if self.max_pool_resurrections < 0:
             raise ValueError("max_pool_resurrections must be >= 0")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
         if self.speculative_execution and self.task_timeout is None:
             raise ValueError(
                 "speculative_execution requires task_timeout (speculation "
                 "triggers on the straggler deadline)"
             )
+
+
+@dataclass(slots=True)
+class _InFlightBatch:
+    """Everything the pipelined driver must retain per dispatched batch
+    until its handle is joined (in batch order) and the completion is
+    fed to windows/state/stats exactly as the sequential path would."""
+
+    index: int
+    info: BatchInfo
+    tuples: list
+    partitioned: Any
+    handle: BatchHandle
+    map_tasks: int
+    reduce_tasks: int
+    batch_span_id: int
+    #: real stamp of submit_batch *returning* to the driver.  An eager
+    #: backend executes inside the call, so completed_at <= dispatched_at
+    #: and the overlap accounting correctly collapses to zero; an async
+    #: backend returns immediately and overlap measures true concurrency.
+    dispatched_at: float = 0.0
 
 
 @dataclass
@@ -246,6 +288,21 @@ class MicroBatchEngine:
             sizer = BatchSizeController(cfg.batch_sizing)
             sizer.seed(cfg.batch_interval)
 
+        depth = cfg.pipeline_depth
+        if depth > 1 and (scaler is not None or sizer is not None):
+            log.warning(
+                "pipeline_depth=%d clamped to 1: elasticity/batch-sizing "
+                "feedback steers batch k+1 from batch k's completion, "
+                "which a pipelined driver would deliver too late",
+                depth,
+            )
+            depth = 1
+        if depth > 1 and metrics.enabled:
+            metrics.gauge(
+                "prompt_pipeline_depth",
+                "Bounded pipeline depth the driver ran with (batches in flight)",
+            ).set(depth)
+
         batches_per_window = (
             self.query.window.batches_per_window(cfg.batch_interval)
             if self.query.window is not None
@@ -258,6 +315,27 @@ class MicroBatchEngine:
         window_answers: list[dict[Key, Any]] = []
         scaling_history: list[ScalingDecision] = []
         recoveries: list[RecoveryEvent] = []
+
+        def publish_partition_quality(partitioned) -> None:
+            if not metrics.enabled:
+                return
+            quality = evaluate_partition(partitioned)
+            labels = {"technique": self.partitioner.name}
+            metrics.gauge(
+                "prompt_partition_bsi",
+                "Block size-imbalance of the last batch (Eqn. 2)",
+                labels,
+            ).set(quality.bsi)
+            metrics.gauge(
+                "prompt_partition_bci",
+                "Block cardinality-imbalance of the last batch (Eqn. 4)",
+                labels,
+            ).set(quality.bci)
+            metrics.gauge(
+                "prompt_partition_ksr",
+                "Key split ratio of the last batch (Eqn. 5)",
+                labels,
+            ).set(quality.ksr)
 
         def heartbeat(k: int, t_start: float, interval: float) -> None:
             info = BatchInfo(index=k, t_start=t_start, t_end=t_start + interval)
@@ -274,24 +352,7 @@ class MicroBatchEngine:
                         tuples, map_tasks, info
                     )
                 early.record(partitioned.plan_elapsed, window)
-                if metrics.enabled:
-                    quality = evaluate_partition(partitioned)
-                    labels = {"technique": self.partitioner.name}
-                    metrics.gauge(
-                        "prompt_partition_bsi",
-                        "Block size-imbalance of the last batch (Eqn. 2)",
-                        labels,
-                    ).set(quality.bsi)
-                    metrics.gauge(
-                        "prompt_partition_bci",
-                        "Block cardinality-imbalance of the last batch (Eqn. 4)",
-                        labels,
-                    ).set(quality.bci)
-                    metrics.gauge(
-                        "prompt_partition_ksr",
-                        "Key split ratio of the last batch (Eqn. 5)",
-                        labels,
-                    ).set(quality.ksr)
+                publish_partition_quality(partitioned)
                 execution = backend.run_batch(
                     partitioned,
                     self.query,
@@ -345,9 +406,138 @@ class MicroBatchEngine:
                     label=f"heartbeat-{k + 1}",
                 )
 
+        # -- pipelined driver (depth >= 2) ------------------------------
+        # Batch k is dispatched asynchronously (submit_batch) and its
+        # handle parked; batch k+1's ingest/partition then overlaps its
+        # execution.  Handles join strictly in batch order, and the
+        # joined batch's scheduler job is submitted with its *own*
+        # heartbeat as the ready time — the simulated timeline (ready,
+        # start, finish, queue delay) is computed from the same values
+        # in the same order as the sequential path, so depth never
+        # leaks into the determinism contract.
+        in_flight: deque[_InFlightBatch] = deque()
+
+        def drain_one() -> None:
+            entry = in_flight.popleft()
+            k = entry.index
+            wait_started = time.perf_counter()
+            wait_span = tracer.start(
+                "pipeline_wait", parent=entry.batch_span_id, batch=k
+            )
+            try:
+                execution = entry.handle.result()
+            finally:
+                tracer.end(wait_span)
+            pipeline_wait = time.perf_counter() - wait_started
+            if metrics.enabled:
+                metrics.histogram(
+                    "prompt_pipeline_stall_seconds",
+                    "Real time the driver stalled joining an in-flight batch",
+                ).observe(pipeline_wait)
+            # execution time that elapsed after submit_batch returned
+            # control to the driver, minus the tail the driver spent
+            # blocked in result(): the wall-clock the pipeline reclaimed.
+            overlap = max(
+                0.0,
+                execution.completed_at - entry.dispatched_at - pipeline_wait,
+            )
+            processing = (
+                cluster.stage_makespan(execution.map_durations)
+                + cluster.stage_makespan(execution.reduce_durations)
+                + self.partitioner.heartbeat_overhead(entry.partitioned)
+            )
+            # on_finish=None + synchronous completion: the loop may
+            # already be past this batch's simulated finish instant, so
+            # a finish *event* could land in the past — the completion
+            # work itself depends only on the job's timeline values.
+            job = scheduler.submit(
+                k, processing, ready_at=entry.info.t_end
+            )
+            self._complete_batch(
+                k,
+                entry.info,
+                entry.tuples,
+                entry.partitioned.buffer_elapsed,
+                entry.partitioned.plan_elapsed,
+                execution,
+                job,
+                entry.map_tasks,
+                entry.reduce_tasks,
+                scaler=scaler,
+                windows=windows,
+                batches_per_window=batches_per_window,
+                store=store,
+                monitor=monitor,
+                stats=stats,
+                window_answers=window_answers,
+                scaling_history=scaling_history,
+                recoveries=recoveries,
+                sizer=sizer,
+                obs=obs,
+                batch_span_id=entry.batch_span_id,
+                pipeline_wait=pipeline_wait,
+                pipeline_overlap=overlap,
+            )
+
+        def pipelined_heartbeat(k: int, t_start: float, interval: float) -> None:
+            # Free a pipeline slot first: with the bound reached, the
+            # driver must absorb the oldest completion before it may
+            # ingest this interval (bounded depth = bounded memory for
+            # parked tuples/partitions and bounded completion lag).
+            while len(in_flight) >= depth:
+                drain_one()
+            info = BatchInfo(index=k, t_start=t_start, t_end=t_start + interval)
+            batch_span = tracer.start("batch", index=k)
+            try:
+                with tracer.span("buffer", batch=k):
+                    tuples, window = receiver.collect(info)
+                with tracer.span(
+                    "partition", batch=k, technique=self.partitioner.name
+                ):
+                    partitioned = self.partitioner.partition(
+                        tuples, cfg.num_blocks, info
+                    )
+                early.record(partitioned.plan_elapsed, window)
+                publish_partition_quality(partitioned)
+                handle = backend.submit_batch(
+                    partitioned,
+                    self.query,
+                    self.partitioner,
+                    cfg.num_reducers,
+                    cfg.cost_model,
+                    topology=topology,
+                    trace_parent=batch_span.span_id,
+                )
+                dispatched_at = time.perf_counter()
+            finally:
+                tracer.end(batch_span)
+            in_flight.append(
+                _InFlightBatch(
+                    index=k,
+                    info=info,
+                    tuples=tuples,
+                    partitioned=partitioned,
+                    handle=handle,
+                    map_tasks=cfg.num_blocks,
+                    reduce_tasks=cfg.num_reducers,
+                    batch_span_id=batch_span.span_id,
+                    dispatched_at=dispatched_at,
+                )
+            )
+            if k + 1 < num_batches:
+                loop.schedule(
+                    info.t_end + cfg.batch_interval,
+                    lambda: pipelined_heartbeat(
+                        k + 1, info.t_end, cfg.batch_interval
+                    ),
+                    priority=0,
+                    label=f"heartbeat-{k + 1}",
+                )
+
+        entry_heartbeat = heartbeat if depth == 1 else pipelined_heartbeat
         loop.schedule(
             cfg.batch_interval,
-            lambda: heartbeat(0, 0.0, cfg.batch_interval),
+            lambda: entry_heartbeat(0, 0.0, cfg.batch_interval),
             label="heartbeat-0",
         )
         log.debug(
@@ -362,6 +552,12 @@ class MicroBatchEngine:
         )
         try:
             loop.run()
+            # The pipelined driver parks up to `depth` dispatched batches;
+            # the heartbeat chain ends with the last of them still in
+            # flight.  Join them in batch order before the run closes so
+            # stats/windows/state see every batch exactly once.
+            while in_flight:
+                drain_one()
         finally:
             tracer.end(run_span)
             backend.close()
@@ -429,6 +625,8 @@ class MicroBatchEngine:
         sizer: Optional[BatchSizeController] = None,
         obs: Optional[RunObservability] = None,
         batch_span_id: Optional[int] = None,
+        pipeline_wait: float = 0.0,
+        pipeline_overlap: float = 0.0,
     ) -> None:
         """Batch ``k`` finished processing: state, windows, feedback."""
         cfg = self.config
@@ -503,6 +701,8 @@ class MicroBatchEngine:
             payload_bytes=execution.payload_bytes,
             context_installs=execution.context_installs,
             context_bytes=execution.context_bytes,
+            pipeline_wait_seconds=pipeline_wait,
+            pipeline_overlap_seconds=pipeline_overlap,
         )
         stats.add(record)
         monitor.observe(k, record.load, record.queue_delay, record.batch_interval)

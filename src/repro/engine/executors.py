@@ -101,7 +101,13 @@ import multiprocessing
 import os
 import pickle
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence
@@ -129,6 +135,7 @@ from .topology import Topology
 log = logging.getLogger(__name__)
 
 __all__ = [
+    "BatchHandle",
     "ExecutionBackend",
     "ExecutorKind",
     "SerialExecutor",
@@ -187,6 +194,41 @@ class StaleContextError(RuntimeError):
     """
 
 
+class BatchHandle:
+    """An in-flight batch submitted through :meth:`ExecutionBackend.submit_batch`.
+
+    A thin, read-only view over the backend's future: ``done()`` polls,
+    ``result()`` blocks until the batch's :class:`BatchExecution` is
+    available (re-raising whatever the execution raised).  The pipelined
+    driver holds one handle per dispatched batch and joins them strictly
+    in batch order, which is what keeps windowing, state, and stats
+    consumption identical to the sequential path.
+    """
+
+    __slots__ = ("batch_index", "submitted_at", "_future")
+
+    def __init__(
+        self, batch_index: int, future: "Future[BatchExecution]",
+        submitted_at: float,
+    ) -> None:
+        self.batch_index = batch_index
+        #: real ``perf_counter`` stamp of the submit_batch call
+        self.submitted_at = submitted_at
+        self._future = future
+
+    def done(self) -> bool:
+        """Whether the batch's execution has finished (success or error)."""
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> BatchExecution:
+        """Block until the execution is available and return it."""
+        return self._future.result(timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "in-flight"
+        return f"BatchHandle(batch={self.batch_index}, {state})"
+
+
 class ExecutionBackend(abc.ABC):
     """Strategy interface: how one batch's tasks are dispatched."""
 
@@ -226,6 +268,54 @@ class ExecutionBackend(abc.ABC):
         topology: Topology | None = None,
     ) -> BatchExecution:
         """Execute one batch's Map -> shuffle -> Reduce computation."""
+
+    def submit_batch(
+        self,
+        batch: PartitionedBatch,
+        query: Query,
+        partitioner: Partitioner,
+        num_reducers: int,
+        cost_model: TaskCostModel,
+        topology: Topology | None = None,
+        *,
+        trace_parent: int | None = None,
+    ) -> BatchHandle:
+        """Submit one batch for execution and return a joinable handle.
+
+        The base implementation is *eager*: it runs the batch
+        synchronously (the serial reference has no concurrency to
+        exploit) and hands back an already-completed handle — which
+        keeps the pipelined driver's control flow uniform across
+        backends and is exactly what the depth-equivalence suite
+        compares against.  The parallel backend overrides this with a
+        dispatch thread so the call returns while map/reduce futures
+        are still in flight.
+
+        ``trace_parent`` is the span id the execution should be
+        parented under (the driver's ``batch`` span); submission may
+        outlive the driver's span stack, so the parent must travel
+        explicitly.
+        """
+        submitted = time.perf_counter()
+        future: Future = Future()
+        span = self.tracer.start(
+            "execute", parent=trace_parent,
+            batch=batch.info.index, backend=self.name,
+        )
+        try:
+            execution = self.run_batch(
+                batch, query, partitioner, num_reducers, cost_model,
+                topology=topology,
+            )
+        except BaseException as exc:
+            self.tracer.end(span)
+            future.set_exception(exc)
+        else:
+            self.tracer.end(span)
+            execution.submitted_at = submitted
+            execution.completed_at = time.perf_counter()
+            future.set_result(execution)
+        return BatchHandle(batch.info.index, future, submitted)
 
     def bind_observability(
         self, tracer: Tracer, metrics: MetricsRegistry
@@ -544,6 +634,11 @@ class ParallelExecutor(ExecutionBackend):
         self.resident_context = resident_context
         self._mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
+        #: single-threaded dispatcher backing submit_batch: one thread
+        #: means submitted batches execute strictly in submission order
+        #: (determinism by construction) while the driver overlaps the
+        #: next batch's ingest/partition with this one's pool waits
+        self._dispatcher: ThreadPoolExecutor | None = None
         #: monotonically increasing context-generation stamp; bumped
         #: whenever the run-invariant slice changes (so a worker can
         #: detect a delta minted for a slice it never received)
@@ -609,7 +704,10 @@ class ParallelExecutor(ExecutionBackend):
             self._context = context
             self._context_signature = signature
             return
-        self.close()  # workers holding the old slice must not serve the new one
+        # workers holding the old slice must not serve the new one.
+        # _close_pool, not close(): this runs on the dispatch thread
+        # under submit_batch, and close() joins that very thread.
+        self._close_pool()
         self._generation += 1
         # pinning the context keeps query/cost_model alive, so the id()s
         # in the signature can never be recycled onto different objects
@@ -672,10 +770,30 @@ class ParallelExecutor(ExecutionBackend):
                 )
         return self._pool
 
-    def close(self) -> None:
+    def _ensure_dispatcher(self) -> ThreadPoolExecutor:
+        if self._dispatcher is None:
+            self._dispatcher = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="prompt-dispatch"
+            )
+        return self._dispatcher
+
+    def _close_pool(self) -> None:
+        """Shut down the process pool only (safe from the dispatch thread)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+
+    def close(self) -> None:
+        """Release the dispatch thread and the worker pool (driver-only).
+
+        Joins the dispatcher, so it must never run *on* the dispatcher —
+        internal paths that retire a pool mid-run (context changes,
+        broken-pool handling) use :meth:`_close_pool` instead.
+        """
+        if self._dispatcher is not None:
+            self._dispatcher.shutdown(wait=True)
+            self._dispatcher = None
+        self._close_pool()
 
     # ------------------------------------------------------------------
     def _serial_fallback(
@@ -793,7 +911,7 @@ class ParallelExecutor(ExecutionBackend):
                     record_success(tid, future, speculative)
             pending.clear()
             outstanding = [0] * n
-            self.close()
+            self._close_pool()
             if not remaining:
                 to_submit.clear()
                 return
@@ -1060,7 +1178,7 @@ class ParallelExecutor(ExecutionBackend):
             if isinstance(exc, BrokenProcessPool):
                 # Drop the corpse; the *next* batch rebuilds a fresh pool
                 # lazily instead of pinning the rest of the run to serial.
-                self.close()
+                self._close_pool()
             if self.fallback_to_serial and _is_infrastructure_error(exc):
                 return self._serial_fallback(
                     exc, batch, query, partitioner, num_reducers, cost_model, topology
@@ -1079,6 +1197,51 @@ class ParallelExecutor(ExecutionBackend):
             context_installs=self.context_installs - installs_before,
             context_bytes=self.context_bytes - context_bytes_before,
         )
+
+    # ------------------------------------------------------------------
+    def submit_batch(
+        self,
+        batch: PartitionedBatch,
+        query: Query,
+        partitioner: Partitioner,
+        num_reducers: int,
+        cost_model: TaskCostModel,
+        topology: Topology | None = None,
+        *,
+        trace_parent: int | None = None,
+    ) -> BatchHandle:
+        """Dispatch one batch asynchronously and return immediately.
+
+        The batch runs on the single dispatch thread: payload pickling,
+        pool submission, the retry/resurrection/speculation wave loop,
+        the shuffle, and — if an infrastructure error strikes — the
+        serial fallback all happen there, exactly as they would inline.
+        One dispatch thread means batches execute strictly in
+        submission order, so every run-level counter and the resident
+        context's generation bookkeeping see the same single-threaded
+        sequence as the synchronous path.  The real win: while this
+        thread sleeps in ``wait()`` on pool futures (GIL released), the
+        driver buffers and partitions the *next* batch.
+        """
+        submitted = time.perf_counter()
+        index = batch.info.index
+
+        def _execute() -> BatchExecution:
+            span = self.tracer.start(
+                "execute", parent=trace_parent, batch=index, backend=self.name
+            )
+            try:
+                execution = self.run_batch(
+                    batch, query, partitioner, num_reducers, cost_model,
+                    topology=topology,
+                )
+            finally:
+                self.tracer.end(span)
+            execution.submitted_at = submitted
+            execution.completed_at = time.perf_counter()
+            return execution
+
+        return BatchHandle(index, self._ensure_dispatcher().submit(_execute), submitted)
 
 
 EXECUTOR_NAMES: tuple[str, ...] = tuple(kind.value for kind in ExecutorKind)

@@ -17,6 +17,7 @@ engine's determinism contract.
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_left
 from typing import Any, Iterable, Mapping
 
@@ -46,48 +47,66 @@ def _labelkey(labels: Mapping[str, str] | None) -> Labels:
 
 
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count.
+
+    Updates are guarded by a per-instrument lock: the pipelined driver
+    publishes from two threads (the event loop and the executor's
+    dispatch thread) and an unguarded ``+=`` read-modify-write between
+    them can lose increments.
+    """
 
     kind = "counter"
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: Labels = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease by {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """Last-observed value; may go up or down."""
+    """Last-observed value; may go up or down (lock-guarded like Counter)."""
 
     kind = "gauge"
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: Labels = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
-    """Fixed-bucket histogram with cumulative counts, sum and count."""
+    """Fixed-bucket histogram with cumulative counts, sum and count.
+
+    One lock covers sum/count/bucket updates so a concurrent publisher
+    on the dispatch thread can never leave the three views inconsistent.
+    """
 
     kind = "histogram"
-    __slots__ = ("name", "labels", "buckets", "bucket_counts", "sum", "count")
+    __slots__ = (
+        "name", "labels", "buckets", "bucket_counts", "sum", "count", "_lock",
+    )
 
     def __init__(
         self,
@@ -104,16 +123,18 @@ class Histogram:
         self.bucket_counts = [0] * len(bounds)  # non-cumulative per bucket
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
         if math.isnan(value):
             raise ValueError(f"histogram {self.name} observed NaN")
-        self.sum += value
-        self.count += 1
         ix = bisect_left(self.buckets, value)
-        if ix < len(self.buckets):
-            self.bucket_counts[ix] += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            if ix < len(self.buckets):
+                self.bucket_counts[ix] += 1
 
     def cumulative_counts(self) -> list[int]:
         """Per-bucket counts accumulated the Prometheus ``le`` way."""
@@ -133,6 +154,7 @@ class MetricsRegistry:
         self._metrics: dict[tuple[str, Labels], Any] = {}
         self._kinds: dict[str, str] = {}
         self._help: dict[str, str] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _get(
@@ -143,19 +165,20 @@ class MetricsRegistry:
         labels: Mapping[str, str] | None,
         **kwargs: Any,
     ) -> Any:
-        known = self._kinds.get(name)
-        if known is not None and known != cls.kind:
-            raise ValueError(
-                f"metric {name!r} already registered as a {known}, not a {cls.kind}"
-            )
         key = (name, _labelkey(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = cls(name, key[1], **kwargs)
-            self._metrics[key] = metric
-            self._kinds[name] = cls.kind
-            if help:
-                self._help[name] = help
+        with self._lock:
+            known = self._kinds.get(name)
+            if known is not None and known != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {known}, not a {cls.kind}"
+                )
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, key[1], **kwargs)
+                self._metrics[key] = metric
+                self._kinds[name] = cls.kind
+                if help:
+                    self._help[name] = help
         return metric
 
     def counter(

@@ -34,6 +34,7 @@ the disabled path stays free.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -81,17 +82,31 @@ class WorkerSpan:
 class Tracer:
     """Collects a tree of spans for one run.
 
-    Not thread-safe by design: the engine drives everything from one
-    thread (worker processes never see the tracer — their measurements
-    travel back as :class:`WorkerSpan` payloads).
+    Thread-aware to exactly the degree the pipelined driver needs: the
+    open-span stack is *per thread* (the driver's buffer/partition spans
+    and the dispatch thread's execute/shuffle spans nest independently,
+    parented explicitly across the boundary), while span-id allocation
+    and the finished-span list are guarded by a lock so concurrent
+    ``end``/``record`` calls never lose a span.  Worker *processes*
+    still never see the tracer — their measurements travel back as
+    :class:`WorkerSpan` payloads.
     """
 
     enabled: bool = True
 
     def __init__(self) -> None:
         self.spans: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_id = 0
+
+    @property
+    def _stack(self) -> list[Span]:
+        """The calling thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- driver spans ---------------------------------------------------
     def start(self, name: str, *, parent: int | None = None, **attrs: Any) -> Span:
@@ -110,15 +125,22 @@ class Tracer:
         return span
 
     def end(self, span: Span, **attrs: Any) -> Span:
-        """Close ``span`` (and anything left open inside it) and keep it."""
-        while self._stack:
-            top = self._stack.pop()
+        """Close ``span`` (and anything left open inside it) and keep it.
+
+        Unwinds the *calling thread's* stack — a span must be ended on
+        the thread that started it (both the driver loop and the
+        dispatch thread obey this by construction).
+        """
+        stack = self._stack
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
         span.end = time.time()
         if attrs:
             span.attrs.update(attrs)
-        self.spans.append(span)
+        with self._lock:
+            self.spans.append(span)
         return span
 
     @contextmanager
@@ -159,7 +181,8 @@ class Tracer:
             pid=pid if pid is not None else os.getpid(),
             attrs=dict(attrs),
         )
-        self.spans.append(span)
+        with self._lock:
+            self.spans.append(span)
         return span
 
     def event(self, name: str, *, parent: int | None = None, **attrs: Any) -> Span:
@@ -169,8 +192,9 @@ class Tracer:
 
     # -- introspection --------------------------------------------------
     def _alloc_id(self) -> int:
-        self._next_id += 1
-        return self._next_id
+        with self._lock:
+            self._next_id += 1
+            return self._next_id
 
     def tree_signature(self) -> tuple:
         """Wall-clock-free structural fingerprint of the trace.

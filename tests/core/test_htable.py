@@ -21,8 +21,9 @@ def test_empty_table():
 
 def test_append_creates_record_and_counts():
     table = HTable()
-    record = table.append(_t("a"))
+    record, was_new = table.append(_t("a"))
     assert isinstance(record, KeyRecord)
+    assert was_new
     assert "a" in table
     assert len(table) == 1
     assert table.tuple_count == 1
@@ -33,7 +34,8 @@ def test_append_creates_record_and_counts():
 def test_append_chains_under_same_key():
     table = HTable()
     table.append(_t("a"))
-    record = table.append(_t("a", ts=0.1))
+    record, was_new = table.append(_t("a", ts=0.1))
+    assert not was_new
     assert len(table) == 1
     assert table.tuple_count == 2
     assert record.freq_current == 2
@@ -51,7 +53,7 @@ def test_weight_accumulates():
 
 def test_pending_delta():
     table = HTable()
-    record = table.append(_t("a"))
+    record, _ = table.append(_t("a"))
     record.freq_updated = 1
     table.append(_t("a"))
     table.append(_t("a"))
