@@ -21,10 +21,22 @@ from .payload import (
     broadcast_wordcount_query,
 )
 from .pipeline import bench_ingest_fast_path, bench_pipeline_overlap
+from .shootout import (
+    SHOOTOUT_TECHNIQUES,
+    ShootoutScenario,
+    joint_imbalance_score,
+    partitioner_shootout,
+    high_skew_verdicts,
+    shootout_quality,
+    shootout_runtime,
+    shootout_scenarios,
+)
 from .speedup import bench_parallel_speedup, heavy_count_one
 
 __all__ = [
     "PAPER_TECHNIQUES",
+    "SHOOTOUT_TECHNIQUES",
+    "ShootoutScenario",
     "ThroughputResult",
     "ThroughputSearch",
     "VocabWeightTable",
@@ -44,8 +56,14 @@ __all__ = [
     "format_series",
     "format_table",
     "heavy_count_one",
+    "joint_imbalance_score",
+    "partitioner_shootout",
+    "high_skew_verdicts",
     "render_run",
     "results_dir",
+    "shootout_quality",
+    "shootout_runtime",
+    "shootout_scenarios",
     "sparkline",
     "run_at_rate",
     "save_results",

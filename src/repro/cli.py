@@ -36,11 +36,14 @@ from .bench import (
     fig14a_post_sort_throughput,
     fig14b_partition_overhead,
     format_table,
+    joint_imbalance_score,
+    partitioner_shootout,
     save_results,
     table1_dataset_stats,
 )
 from .engine.executors import EXECUTOR_NAMES, ExecutorKind
 from .obs import ObservabilityConfig, format_trace_summary, summarize_trace
+from .partitioners.registry import PARTITIONER_NAMES
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -181,6 +184,31 @@ def _run_speedup(args: argparse.Namespace) -> tuple[str, Any]:
     )
 
 
+def _run_shootout(args: argparse.Namespace) -> tuple[str, Any]:
+    kwargs: dict[str, Any] = {"cost_scale": 2.0}
+    if args.quick:
+        kwargs.update(
+            rate=3_000.0,
+            num_keys=1_500,
+            num_batches=4,
+            runtime_batches=4,
+        )
+    payload = partitioner_shootout(**kwargs)
+    for row in payload["quality"]:
+        row["JointScore"] = joint_imbalance_score(row)
+    text = format_table(
+        payload["quality"],
+        columns=["Scenario", "Skew", "Technique", "BSI", "BCI", "KSR", "MPI", "JointScore"],
+        title="Partitioner shoot-out: partition quality",
+    )
+    text += "\n\n" + format_table(
+        payload["runtime"],
+        columns=["Scenario", "Technique", "LatencyMean", "LatencyP95", "Throughput", "Stable"],
+        title="Partitioner shoot-out: runtime at fixed offered rate",
+    )
+    return text, payload
+
+
 def _run_quickstart(args: argparse.Namespace) -> tuple[str, Any]:
     """The quickstart workload, shared by ``quickstart`` and ``run``.
 
@@ -194,7 +222,7 @@ def _run_quickstart(args: argparse.Namespace) -> tuple[str, Any]:
     from repro.workloads import tweets_source
 
     engine = MicroBatchEngine(
-        make_partitioner("prompt"),
+        make_partitioner(getattr(args, "partitioner", "prompt")),
         wordcount_query(window_length=10.0),
         EngineConfig(
             batch_interval=1.0,
@@ -269,6 +297,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], tuple[str, Any]
     "fig14a": ("Figure 14a — post-sort throughput", _run_fig14a),
     "fig14b": ("Figure 14b — partitioning overhead", _run_fig14b),
     "speedup": ("Serial vs parallel execution backend wall-clock", _run_speedup),
+    "shootout": ("Partitioner shoot-out — all techniques head-to-head", _run_shootout),
     "quickstart": ("Quickstart demo — engine run (supports --trace/--metrics)", _run_quickstart),
 }
 
@@ -352,6 +381,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=ExecutorKind.SERIAL.value,
         choices=list(EXECUTOR_NAMES),
         help="execution backend for map/reduce tasks",
+    )
+    quick.add_argument(
+        "--partitioner",
+        default="prompt",
+        choices=list(PARTITIONER_NAMES),
+        help="partitioning technique for the demo run (default: prompt)",
     )
     quick.add_argument(
         "--workers",

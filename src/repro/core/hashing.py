@@ -13,7 +13,7 @@ from __future__ import annotations
 import zlib
 from typing import Hashable
 
-__all__ = ["stable_hash", "hash_to_bucket", "candidate_buckets"]
+__all__ = ["stable_hash", "hash_to_bucket", "candidate_buckets", "CandidateCache"]
 
 _SEED_MIX = 0x9E3779B9  # golden-ratio constant to decorrelate seeds
 
@@ -50,3 +50,42 @@ def candidate_buckets(key: Hashable, num_buckets: int, d: int) -> list[int]:
     if d < 1:
         raise ValueError(f"d must be >= 1, got {d}")
     return [hash_to_bucket(key, num_buckets, seed=i + 1) for i in range(d)]
+
+
+class CandidateCache:
+    """Bounded LRU memo for :func:`candidate_buckets`.
+
+    Key-splitting partitioners memoize each key's candidate list; an
+    unbounded dict grows with the *lifetime* vocabulary, which under key
+    churn (drifting vocabularies) is unbounded.  This cache evicts the
+    least-recently-used entry past ``capacity`` — a cache miss only
+    recomputes a CRC32 list, so eviction never changes any assignment.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int = 65_536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        # dicts preserve insertion order; re-inserting on hit keeps the
+        # least-recently-used entry first for O(1) eviction.
+        self._entries: dict[tuple, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def get(self, key: Hashable, num_buckets: int, d: int) -> list[int]:
+        """The candidate list for ``(key, num_buckets, d)``, memoized."""
+        entries = self._entries
+        cache_key = (key, num_buckets, d)
+        cached = entries.pop(cache_key, None)
+        if cached is None:
+            cached = candidate_buckets(key, num_buckets, d)
+            if len(entries) >= self.capacity:
+                entries.pop(next(iter(entries)))
+        entries[cache_key] = cached
+        return cached

@@ -30,6 +30,7 @@ from ..core.metrics import evaluate_partition
 from ..extensions.batch_sizing import BatchSizeController, BatchSizingConfig
 from ..obs import ObservabilityConfig, RunObservability
 from ..partitioners.base import Partitioner
+from ..partitioners.feedback import FEEDBACK_LAG, NULL_FEEDBACK, FeedbackBuffer
 from ..queries.base import Query
 from ..workloads.source import StreamSource
 from .backpressure import BackpressureConfig, BackpressureMonitor
@@ -275,6 +276,15 @@ class MicroBatchEngine:
         )
         receiver.reset()
         self.partitioner.reset()
+        # Worker-load feedback channel: only built for techniques that
+        # opted in, so the default path neither constructs feedback nor
+        # calls into the partitioner — byte-identical to the
+        # pre-feedback engine.  Delivery lag and ordering are fixed by
+        # the FeedbackBuffer contract (see repro.partitioners.feedback),
+        # which is what keeps depth-1 and depth-2 drivers equivalent.
+        feedback = (
+            FeedbackBuffer() if self.partitioner.uses_feedback else NULL_FEEDBACK
+        )
 
         scaler: Optional[AutoScaler] = None
         if cfg.elasticity is not None:
@@ -297,6 +307,14 @@ class MicroBatchEngine:
                 depth,
             )
             depth = 1
+        if depth > FEEDBACK_LAG and self.partitioner.uses_feedback:
+            log.warning(
+                "pipeline_depth=%d clamped to %d: %s consumes worker-load "
+                "feedback, which is only guaranteed published in time when "
+                "at most %d batches are in flight",
+                depth, FEEDBACK_LAG, self.partitioner.name, FEEDBACK_LAG,
+            )
+            depth = FEEDBACK_LAG
         if depth > 1 and metrics.enabled:
             metrics.gauge(
                 "prompt_pipeline_depth",
@@ -345,6 +363,7 @@ class MicroBatchEngine:
                     tuples, window = receiver.collect(info)
                 map_tasks = scaler.map_tasks if scaler else cfg.num_blocks
                 reduce_tasks = scaler.reduce_tasks if scaler else cfg.num_reducers
+                feedback.deliver(self.partitioner, k)
                 with tracer.span(
                     "partition", batch=k, technique=self.partitioner.name
                 ):
@@ -361,6 +380,13 @@ class MicroBatchEngine:
                     cfg.cost_model,
                     topology=topology,
                 )
+                if feedback.enabled:
+                    # execution is in hand here (synchronous dispatch),
+                    # but the buffer withholds it until batch k+2's
+                    # heartbeat — the same lag the pipelined driver is
+                    # physically constrained to, so depth never leaks
+                    # into feedback-consuming techniques.
+                    feedback.publish(backend.observed_load(partitioned, execution))
                 processing = (
                     cluster.stage_makespan(execution.map_durations)
                     + cluster.stage_makespan(execution.reduce_durations)
@@ -429,6 +455,13 @@ class MicroBatchEngine:
             finally:
                 tracer.end(wait_span)
             pipeline_wait = time.perf_counter() - wait_started
+            if feedback.enabled:
+                # feedback from batch k-1 (or earlier) published while
+                # later batches are in flight; the buffer's fixed lag
+                # releases it before batch k+1's partition step
+                feedback.publish(
+                    backend.observed_load(entry.partitioned, execution)
+                )
             if metrics.enabled:
                 metrics.histogram(
                     "prompt_pipeline_stall_seconds",
@@ -491,6 +524,10 @@ class MicroBatchEngine:
             try:
                 with tracer.span("buffer", batch=k):
                     tuples, window = receiver.collect(info)
+                # with depth 2 the drain loop above has joined batch k-2,
+                # so exactly the feedback the buffer's lag releases is
+                # guaranteed published — same bytes, same order as depth 1
+                feedback.deliver(self.partitioner, k)
                 with tracer.span(
                     "partition", batch=k, technique=self.partitioner.name
                 ):

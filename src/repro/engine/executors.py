@@ -116,6 +116,7 @@ from ..core.batch import PartitionedBatch
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.tracing import NULL_TRACER, Tracer, WorkerSpan
 from ..partitioners.base import Partitioner
+from ..partitioners.feedback import WorkerLoadFeedback
 from ..queries.base import Query
 from .faults import TaskFault, TaskFaultInjector, TransientTaskError
 from .tasks import (
@@ -316,6 +317,28 @@ class ExecutionBackend(abc.ABC):
             execution.completed_at = time.perf_counter()
             future.set_result(execution)
         return BatchHandle(batch.info.index, future, submitted)
+
+    def observed_load(
+        self, batch: PartitionedBatch, execution: BatchExecution
+    ) -> WorkerLoadFeedback:
+        """Package one completed batch's per-worker load for feedback.
+
+        Built from the *simulated* task durations, which the determinism
+        contract makes identical across backends — feedback-consuming
+        partitioners therefore see the same bytes under serial and
+        parallel dispatch.  The engine only calls this for partitioners
+        with ``uses_feedback`` set.
+        """
+        return WorkerLoadFeedback(
+            batch_index=batch.info.index,
+            block_sizes=tuple(b.size for b in batch.blocks),
+            block_cardinalities=tuple(b.cardinality for b in batch.blocks),
+            block_loads=tuple(execution.map_durations),
+            bucket_weights=tuple(
+                r.input_weight for r in execution.reduce_results
+            ),
+            bucket_loads=tuple(execution.reduce_durations),
+        )
 
     def bind_observability(
         self, tracer: Tracer, metrics: MetricsRegistry

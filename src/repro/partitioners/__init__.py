@@ -2,9 +2,23 @@
 
 from .base import Partitioner, StreamingPartitioner
 from .cam import CAMPartitioner
+from .fang import FangRepartitioner
+from .feedback import (
+    FEEDBACK_LAG,
+    NULL_FEEDBACK,
+    FeedbackBuffer,
+    NullFeedback,
+    WorkerLoadFeedback,
+)
 from .hashing import HashPartitioner
 from .heavy_split import HeavyHitterSplitPartitioner
-from .key_split import KeySplitPartitioner, PK2Partitioner, PK5Partitioner
+from .key_split import (
+    DChoicesPartitioner,
+    KeySplitPartitioner,
+    PK2Partitioner,
+    PK5Partitioner,
+    WChoicesPartitioner,
+)
 from .prompt import PromptPartitioner
 from .registry import PARTITIONER_NAMES, all_paper_techniques, make_partitioner
 from .shuffle import ShufflePartitioner
@@ -12,9 +26,15 @@ from .time_based import TimeBasedPartitioner
 
 __all__ = [
     "CAMPartitioner",
+    "DChoicesPartitioner",
+    "FEEDBACK_LAG",
+    "FangRepartitioner",
+    "FeedbackBuffer",
     "HashPartitioner",
     "HeavyHitterSplitPartitioner",
     "KeySplitPartitioner",
+    "NULL_FEEDBACK",
+    "NullFeedback",
     "PARTITIONER_NAMES",
     "PK2Partitioner",
     "PK5Partitioner",
@@ -23,6 +43,8 @@ __all__ = [
     "ShufflePartitioner",
     "StreamingPartitioner",
     "TimeBasedPartitioner",
+    "WChoicesPartitioner",
+    "WorkerLoadFeedback",
     "all_paper_techniques",
     "make_partitioner",
 ]

@@ -27,6 +27,7 @@ from ..core.reduce_allocator import (
 )
 from ..core.tuples import Key, StreamTuple
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from .feedback import WorkerLoadFeedback
 
 __all__ = ["Partitioner", "StreamingPartitioner", "ReduceAllocation"]
 
@@ -41,6 +42,11 @@ class Partitioner(abc.ABC):
     name: str = "base"
     #: whether the technique needs the frequency-aware accumulator running
     uses_accumulator: bool = False
+    #: whether the technique consumes :class:`WorkerLoadFeedback` — the
+    #: engine only builds and routes feedback when this is True, so the
+    #: default keeps the pre-feedback engine path (and its outputs)
+    #: byte-identical
+    uses_feedback: bool = False
     #: metrics sink the engine binds per run (no-op by default, so
     #: techniques may publish unconditionally; see repro.obs.metrics)
     metrics: MetricsRegistry = NULL_METRICS
@@ -96,6 +102,16 @@ class Partitioner(abc.ABC):
         if type(self).allocate_reduce is Partitioner.allocate_reduce:
             return hash_reduce_allocation
         return self.allocate_reduce
+
+    def observe_load(self, feedback: WorkerLoadFeedback) -> None:
+        """Consume one completed batch's observed per-worker load.
+
+        The engine delivers feedback in batch order with a fixed lag of
+        :data:`~repro.partitioners.feedback.FEEDBACK_LAG` batches (see
+        that module's determinism contract), and only when
+        ``uses_feedback`` is True.  The default is a no-op so existing
+        techniques are untouched.
+        """
 
     def heartbeat_overhead(self, batch: PartitionedBatch) -> float:
         """Simulated work this technique adds at the heartbeat (seconds).

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..core.batch import BatchInfo, DataBlock
-from ..core.hashing import candidate_buckets
+from ..core.hashing import CandidateCache
 from ..core.tuples import Key, StreamTuple
 from .base import StreamingPartitioner
 
@@ -34,14 +34,16 @@ class CAMPartitioner(StreamingPartitioner):
 
     name = "cam"
 
-    def __init__(self, d: int = 4, gamma: float = 1.0) -> None:
+    def __init__(
+        self, d: int = 4, gamma: float = 1.0, *, cache_size: int = 65_536
+    ) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         if gamma < 0:
             raise ValueError(f"gamma must be >= 0, got {gamma}")
         self.d = d
         self.gamma = gamma
-        self._candidate_cache: dict[tuple[Key, int], list[int]] = {}
+        self._candidate_cache = CandidateCache(cache_size)
         self._seen = 0
 
     def reset(self) -> None:
@@ -49,11 +51,7 @@ class CAMPartitioner(StreamingPartitioner):
         self._seen = 0
 
     def _candidates(self, key: Key, num_blocks: int) -> list[int]:
-        cached = self._candidate_cache.get((key, num_blocks))
-        if cached is None:
-            cached = candidate_buckets(key, num_blocks, self.d)
-            self._candidate_cache[(key, num_blocks)] = cached
-        return cached
+        return self._candidate_cache.get(key, num_blocks, self.d)
 
     def assign(
         self,

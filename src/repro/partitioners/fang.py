@@ -1,0 +1,199 @@
+"""Variance-driven key repartitioning (Fang et al., VLDB/ICDE line).
+
+"Parallel Stream Processing Against Workload Skewness and Variance"
+(Fang et al.) keeps an explicit key→worker routing table and *migrates*
+keys between workers when observed load imbalance warrants it, charging
+a migration cost for the key state that must move.  Unlike the
+key-splitting family, a key lives on exactly one worker at a time —
+KSR stays 1 by construction — so all balancing power comes from
+*placement*, revised between batches:
+
+- every batch is partitioned by the current routing table (new keys are
+  hashed), i.e. the plan derived from past batches is applied to the
+  next one — the causality a real DSPS must respect;
+- after the batch is placed, per-key rates are folded into an EWMA and
+  the expected per-worker loads recomputed; observed per-block load
+  from the engine's :class:`~repro.partitioners.feedback.WorkerLoadFeedback`
+  (when running inside the engine) is blended in, so estimation error
+  in the model is corrected by ground truth from completed batches;
+- while the hottest worker exceeds the mean by more than
+  ``imbalance_tolerance``, the hottest migratable key is moved to the
+  coolest worker — but only when the variance reduction
+  ``2·r·(load_src − load_dst − r)`` exceeds the migration-cost term
+  ``migration_cost · r · mean_load`` (state transfer is proportional to
+  the key's rate, our proxy for its state size).  At most
+  ``max_migrations`` keys move per batch boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.batch import BatchInfo, DataBlock, PartitionedBatch
+from ..core.hashing import hash_to_bucket
+from ..core.tuples import Key, StreamTuple
+from .base import Partitioner
+from .feedback import WorkerLoadFeedback
+
+__all__ = ["FangRepartitioner"]
+
+#: EWMA rates below this fraction of the per-key mean are dropped —
+#: bounds the routing/rate tables under key churn.
+_PRUNE_FRACTION = 0.01
+
+
+class FangRepartitioner(Partitioner):
+    """Holistic key→worker routing with cost-aware migration."""
+
+    name = "fang"
+    uses_feedback = True
+
+    def __init__(
+        self,
+        *,
+        ewma: float = 0.5,
+        imbalance_tolerance: float = 0.1,
+        migration_cost: float = 0.1,
+        max_migrations: int = 16,
+        feedback_weight: float = 0.5,
+    ) -> None:
+        if not 0.0 < ewma <= 1.0:
+            raise ValueError(f"ewma must be in (0, 1], got {ewma}")
+        if imbalance_tolerance < 0.0:
+            raise ValueError("imbalance_tolerance must be >= 0")
+        if migration_cost < 0.0:
+            raise ValueError("migration_cost must be >= 0")
+        if max_migrations < 0:
+            raise ValueError("max_migrations must be >= 0")
+        if not 0.0 <= feedback_weight <= 1.0:
+            raise ValueError("feedback_weight must be in [0, 1]")
+        self.ewma = ewma
+        self.imbalance_tolerance = imbalance_tolerance
+        self.migration_cost = migration_cost
+        self.max_migrations = max_migrations
+        self.feedback_weight = feedback_weight
+        self._routing: dict[Key, int] = {}
+        self._rates: dict[Key, float] = {}
+        self._observed_relative: tuple[float, ...] = ()
+        #: keys migrated over the partitioner's lifetime (reset() clears)
+        self.migrations_total = 0
+
+    def reset(self) -> None:
+        self._routing.clear()
+        self._rates.clear()
+        self._observed_relative = ()
+        self.migrations_total = 0
+
+    # ------------------------------------------------------------------
+    def observe_load(self, feedback: WorkerLoadFeedback) -> None:
+        self._observed_relative = feedback.relative_block_loads()
+
+    def partition(
+        self,
+        tuples: Sequence[StreamTuple],
+        num_blocks: int,
+        info: BatchInfo,
+    ) -> PartitionedBatch:
+        if num_blocks < 1:
+            raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+        blocks = [DataBlock(i) for i in range(num_blocks)]
+        routing = self._routing
+        counts: dict[Key, float] = {}
+        for t in tuples:
+            target = routing.get(t.key)
+            if target is None or target >= num_blocks:
+                # unseen key (or stale route after a cluster resize)
+                target = hash_to_bucket(t.key, num_blocks)
+                routing[t.key] = target
+            blocks[target].add_tuple(t)
+            counts[t.key] = counts.get(t.key, 0.0) + t.weight
+        batch = PartitionedBatch(info=info, blocks=blocks, partitioner_name=self.name)
+        batch.compute_split_keys()  # single-homed keys: never any splits
+        self._update_rates(counts)
+        migrated = self._plan_migrations(num_blocks)
+        if migrated:
+            self.metrics.counter(
+                "prompt_fang_migrations_total",
+                "Keys migrated between workers by the Fang repartitioner",
+                {"technique": self.name},
+            ).inc(migrated)
+        return batch
+
+    # ------------------------------------------------------------------
+    def _update_rates(self, counts: dict[Key, float]) -> None:
+        """Fold this batch's per-key weights into the EWMA rate table."""
+        alpha = self.ewma
+        rates = self._rates
+        for key in list(rates):
+            observed = counts.pop(key, 0.0)
+            rates[key] += alpha * (observed - rates[key])
+        for key, observed in counts.items():
+            rates[key] = alpha * observed
+        if not rates:
+            return
+        # prune cold keys so churning vocabularies cannot grow the
+        # tables without bound; a pruned key simply re-enters by hash
+        floor = _PRUNE_FRACTION * (sum(rates.values()) / len(rates))
+        for key in [k for k, r in rates.items() if r < floor]:
+            del rates[key]
+            self._routing.pop(key, None)
+
+    def _expected_loads(self, num_blocks: int) -> list[float]:
+        loads = [0.0] * num_blocks
+        for key, rate in self._rates.items():
+            target = self._routing.get(key)
+            if target is not None and target < num_blocks:
+                loads[target] += rate
+        observed = self._observed_relative
+        if len(observed) == num_blocks and sum(loads) > 0.0:
+            # blend model estimate with observed ground truth, rescaled
+            # to the model's total so units agree
+            scale = sum(loads) / num_blocks
+            w = self.feedback_weight
+            loads = [
+                (1.0 - w) * est + w * rel * scale
+                for est, rel in zip(loads, observed)
+            ]
+        return loads
+
+    def _plan_migrations(self, num_blocks: int) -> int:
+        """Revise the routing table for the *next* batch.  Returns moves."""
+        if num_blocks < 2 or not self._rates:
+            return 0
+        loads = self._expected_loads(num_blocks)
+        members: list[list[Key]] = [[] for _ in range(num_blocks)]
+        for key in self._rates:
+            target = self._routing.get(key)
+            if target is not None and target < num_blocks:
+                members[target].append(key)
+        mean = sum(loads) / num_blocks
+        if mean <= 0.0:
+            return 0
+        rates = self._rates
+        moved = 0
+        for _ in range(self.max_migrations):
+            src = max(range(num_blocks), key=lambda i: (loads[i], -i))
+            dst = min(range(num_blocks), key=lambda i: (loads[i], i))
+            if loads[src] - mean <= self.imbalance_tolerance * mean:
+                break
+            best: Key | None = None
+            # hottest key whose move shrinks the gap and pays for its
+            # migration (deterministic tie-break on the key's repr)
+            for key in sorted(members[src], key=lambda k: (-rates[k], repr(k))):
+                rate = rates[key]
+                if rate <= 0.0 or loads[src] - rate < loads[dst]:
+                    continue  # would overshoot past the coolest worker
+                benefit = 2.0 * rate * (loads[src] - loads[dst] - rate)
+                if benefit > self.migration_cost * rate * mean:
+                    best = key
+                    break
+            if best is None:
+                break
+            self._routing[best] = dst
+            members[src].remove(best)
+            members[dst].append(best)
+            loads[src] -= rates[best]
+            loads[dst] += rates[best]
+            moved += 1
+        self.migrations_total += moved
+        return moved

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..core.batch import BatchInfo, DataBlock
-from ..core.hashing import candidate_buckets, hash_to_bucket
+from ..core.hashing import CandidateCache, hash_to_bucket
 from ..core.sketches import SpaceSavingSketch
 from ..core.tuples import Key, StreamTuple
 from .base import StreamingPartitioner
@@ -44,6 +44,7 @@ class HeavyHitterSplitPartitioner(StreamingPartitioner):
         *,
         threshold: float = 0.01,
         sketch_capacity: int = 128,
+        cache_size: int = 65_536,
     ) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
@@ -55,7 +56,7 @@ class HeavyHitterSplitPartitioner(StreamingPartitioner):
         self.threshold = threshold
         self.sketch_capacity = sketch_capacity
         self._sketch = SpaceSavingSketch(sketch_capacity)
-        self._candidate_cache: dict[tuple[Key, int], list[int]] = {}
+        self._candidate_cache = CandidateCache(cache_size)
 
     def reset(self) -> None:
         self._sketch = SpaceSavingSketch(self.sketch_capacity)
@@ -68,11 +69,7 @@ class HeavyHitterSplitPartitioner(StreamingPartitioner):
         return self._sketch.guaranteed(key) > self.threshold * total
 
     def _candidates(self, key: Key, num_blocks: int) -> list[int]:
-        cached = self._candidate_cache.get((key, num_blocks))
-        if cached is None:
-            cached = candidate_buckets(key, num_blocks, self.d)
-            self._candidate_cache[(key, num_blocks)] = cached
-        return cached
+        return self._candidate_cache.get(key, num_blocks, self.d)
 
     def assign(
         self,

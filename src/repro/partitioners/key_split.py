@@ -1,4 +1,4 @@
-"""Key-split partitioning — PK2 / PK5 baselines (Section 2.2.4).
+"""Key-split partitioning — PK2/PK5 and the D-/W-Choices rivals.
 
 The "power of both choices" family (Nasir et al., ICDE'15/'16): ``d``
 independent hash functions give each key ``d`` candidate blocks, and
@@ -12,18 +12,39 @@ per-key aggregation), and per-block *cardinality* is uncontrolled.
 Because these techniques come from continuous tuple-at-a-time DSPSs,
 they are obliged to decide per tuple with only running statistics —
 precisely the restriction Prompt's whole-batch view removes.
+
+:class:`DChoicesPartitioner` / :class:`WChoicesPartitioner` implement
+the head/tail refinement of "When Two Choices Are Not Enough" proper:
+only keys above the frequency threshold θ (detected by a Space-Saving
+sketch) are split, the long tail is plain-hashed to preserve key
+locality.  D-Choices scales the number of candidates per head key with
+its estimated frequency share — a key carrying share ``s`` needs about
+``s/θ`` workers to dilute below θ each — capped at ``w``; W-Choices
+lets head keys choose among *all* workers.  Both consume the engine's
+:class:`~repro.partitioners.feedback.WorkerLoadFeedback` (carry-over
+load observed on completed batches biases the least-loaded choice, so a
+worker that ran hot in batch ``k-2`` attracts less of batch ``k``).
 """
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from ..core.batch import BatchInfo, DataBlock
-from ..core.hashing import candidate_buckets
+from ..core.hashing import CandidateCache, hash_to_bucket
+from ..core.sketches import SpaceSavingSketch
 from ..core.tuples import Key, StreamTuple
 from .base import StreamingPartitioner
+from .feedback import WorkerLoadFeedback
 
-__all__ = ["KeySplitPartitioner", "PK2Partitioner", "PK5Partitioner"]
+__all__ = [
+    "KeySplitPartitioner",
+    "PK2Partitioner",
+    "PK5Partitioner",
+    "DChoicesPartitioner",
+    "WChoicesPartitioner",
+]
 
 
 class KeySplitPartitioner(StreamingPartitioner):
@@ -31,21 +52,17 @@ class KeySplitPartitioner(StreamingPartitioner):
 
     name = "pkd"
 
-    def __init__(self, d: int = 2) -> None:
+    def __init__(self, d: int = 2, *, cache_size: int = 65_536) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         self.d = d
-        self._candidate_cache: dict[tuple[Key, int], list[int]] = {}
+        self._candidate_cache = CandidateCache(cache_size)
 
     def reset(self) -> None:
         self._candidate_cache.clear()
 
-    def _candidates(self, key: Key, num_blocks: int) -> list[int]:
-        cached = self._candidate_cache.get((key, num_blocks))
-        if cached is None:
-            cached = candidate_buckets(key, num_blocks, self.d)
-            self._candidate_cache[(key, num_blocks)] = cached
-        return cached
+    def _candidates(self, key: Key, num_blocks: int, d: int | None = None) -> list[int]:
+        return self._candidate_cache.get(key, num_blocks, d if d is not None else self.d)
 
     def assign(
         self,
@@ -75,3 +92,116 @@ class PK5Partitioner(KeySplitPartitioner):
 
     def __init__(self) -> None:
         super().__init__(d=5)
+
+
+class DChoicesPartitioner(KeySplitPartitioner):
+    """Split head keys over frequency-scaled ``d`` choices; hash the tail.
+
+    Head detection follows the θ threshold of Nasir et al.: once the
+    sketch has seen at least ``sketch_capacity`` tuples, a key whose
+    guaranteed share exceeds ``threshold`` is a head key and receives
+    ``d = clamp(ceil(share / threshold), 2, w)`` candidates — enough
+    workers to bring its per-worker share back under θ.  Tail keys are
+    plain-hashed (KSR stays 1 for them).  Worker-load feedback from
+    completed batches biases the candidate choice by each block's
+    observed relative load.
+    """
+
+    name = "d-choices"
+    uses_feedback = True
+
+    def __init__(
+        self,
+        w: int | None = None,
+        *,
+        threshold: float = 0.01,
+        sketch_capacity: int = 128,
+        feedback_weight: float = 0.25,
+        cache_size: int = 65_536,
+    ) -> None:
+        if w is not None and w < 2:
+            raise ValueError(f"w must be >= 2 when set, got {w}")
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        if sketch_capacity < 1:
+            raise ValueError("sketch_capacity must be >= 1")
+        if feedback_weight < 0.0:
+            raise ValueError("feedback_weight must be >= 0")
+        super().__init__(d=2, cache_size=cache_size)
+        self.w = w
+        self.threshold = threshold
+        self.sketch_capacity = sketch_capacity
+        self.feedback_weight = feedback_weight
+        self._sketch = SpaceSavingSketch(sketch_capacity)
+        #: per-block score bias from the last delivered feedback, in
+        #: tuple-weight units (positive = block ran hot, avoid it)
+        self._load_bias: tuple[float, ...] = ()
+
+    def reset(self) -> None:
+        super().reset()
+        self._sketch = SpaceSavingSketch(self.sketch_capacity)
+        self._load_bias = ()
+
+    def observe_load(self, feedback: WorkerLoadFeedback) -> None:
+        relative = feedback.relative_block_loads()
+        if not relative or not feedback.block_sizes:
+            self._load_bias = ()
+            return
+        mean_size = sum(feedback.block_sizes) / len(feedback.block_sizes)
+        self._load_bias = tuple(
+            self.feedback_weight * (rel - 1.0) * mean_size for rel in relative
+        )
+
+    def _degree(self, key: Key, num_blocks: int) -> int:
+        """Candidate count for ``key``: 0 = tail (hash), else 2..w."""
+        total = self._sketch.total
+        if total < self.sketch_capacity:
+            return 0  # not enough evidence yet
+        share = self._sketch.guaranteed(key) / total
+        if share <= self.threshold:
+            return 0
+        w = num_blocks if self.w is None else min(self.w, num_blocks)
+        if w < 2:
+            return 0
+        return max(2, min(w, math.ceil(share / self.threshold)))
+
+    def _score(self, blocks: Sequence[DataBlock], i: int) -> tuple[float, int]:
+        bias = self._load_bias[i] if i < len(self._load_bias) else 0.0
+        return (blocks[i].size + bias, i)
+
+    def assign(
+        self,
+        t: StreamTuple,
+        seq: int,
+        blocks: Sequence[DataBlock],
+        info: BatchInfo,
+    ) -> int:
+        self._sketch.add(t.key)
+        num_blocks = len(blocks)
+        d = self._degree(t.key, num_blocks)
+        if d == 0:
+            return hash_to_bucket(t.key, num_blocks)
+        if d >= num_blocks:
+            # saturated: every worker is a candidate (the W-Choices case) —
+            # no point hashing d times when the set is the whole cluster
+            candidates: Sequence[int] = range(num_blocks)
+        else:
+            candidates = self._candidates(t.key, num_blocks, d)
+        return min(candidates, key=lambda i: self._score(blocks, i))
+
+
+class WChoicesPartitioner(DChoicesPartitioner):
+    """W-Choices: head keys may go to *any* worker; the tail still hashes.
+
+    The limit case of D-Choices (Nasir et al., ICDE'16): once a key is
+    hot enough to split at all, it is worth spreading over the whole
+    cluster — best possible size balance for the head at the price of
+    up to ``num_blocks`` fragments per head key.
+    """
+
+    name = "w-choices"
+
+    def _degree(self, key: Key, num_blocks: int) -> int:
+        if num_blocks < 2:
+            return 0
+        return 0 if super()._degree(key, num_blocks) == 0 else num_blocks

@@ -12,9 +12,15 @@ from typing import Callable
 
 from .base import Partitioner
 from .cam import CAMPartitioner
+from .fang import FangRepartitioner
 from .hashing import HashPartitioner
 from .heavy_split import HeavyHitterSplitPartitioner
-from .key_split import PK2Partitioner, PK5Partitioner
+from .key_split import (
+    DChoicesPartitioner,
+    PK2Partitioner,
+    PK5Partitioner,
+    WChoicesPartitioner,
+)
 from .prompt import PromptPartitioner
 from .shuffle import ShufflePartitioner
 from .time_based import TimeBasedPartitioner
@@ -28,6 +34,9 @@ _FACTORIES: dict[str, Callable[[], Partitioner]] = {
     "pk2": PK2Partitioner,
     "pk5": PK5Partitioner,
     "pkh": HeavyHitterSplitPartitioner,
+    "d-choices": DChoicesPartitioner,
+    "w-choices": WChoicesPartitioner,
+    "fang": FangRepartitioner,
     "cam": CAMPartitioner,
     "prompt": PromptPartitioner,
     "prompt-postsort": lambda: PromptPartitioner(post_sort=True),

@@ -1,5 +1,6 @@
 """Workload generators: arrival processes and the Section 7.1 datasets."""
 
+from .adversarial import HotKeyFlipSource, hot_key_flip_source
 from .arrival import (
     ArrivalProcess,
     ConstantRate,
@@ -8,6 +9,7 @@ from .arrival import (
     ScaledRate,
     SinusoidalRate,
 )
+from .churn import KeyChurnSource, key_churn_source
 from .debs_taxi import debs_taxi_source
 from .elastic import ElasticWorkloadSource
 from .gcm import gcm_source
@@ -25,6 +27,8 @@ __all__ = [
     "DatasetProperties",
     "DelayedSource",
     "ElasticWorkloadSource",
+    "HotKeyFlipSource",
+    "KeyChurnSource",
     "PiecewiseRate",
     "RampRate",
     "ReplaySource",
@@ -36,6 +40,8 @@ __all__ = [
     "ZipfSampler",
     "debs_taxi_source",
     "gcm_source",
+    "hot_key_flip_source",
+    "key_churn_source",
     "synd_source",
     "tpch_lineitem_source",
     "tweets_source",

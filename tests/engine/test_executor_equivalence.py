@@ -147,6 +147,28 @@ def test_parallel_matches_serial_hash(workload):
     _assert_equivalent(serial, parallel)
 
 
+FEEDBACK_PARTITIONERS = ("d-choices", "w-choices", "fang")
+
+
+@pytest.mark.parametrize("partitioner", FEEDBACK_PARTITIONERS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_parallel_matches_serial_feedback_consumers(workload, partitioner):
+    """The load-feedback loop closes over simulated durations, which are
+    backend-invariant by contract — so the adaptive techniques must be
+    bit-identical across executors too."""
+    serial = _run(workload, "base", partitioner, "serial")
+    parallel = _run(workload, "base", partitioner, "parallel")
+    _assert_equivalent(serial, parallel)
+
+
+def test_parallel_matches_serial_fang_under_elasticity():
+    """Task counts change mid-run: fang's routing table must resolve the
+    resize identically on both backends."""
+    serial = _run("synd-skewed", "elastic", "fang", "serial")
+    parallel = _run("synd-skewed", "elastic", "fang", "parallel")
+    _assert_equivalent(serial, parallel)
+
+
 def test_parallel_matches_serial_across_seeds():
     """The contract holds for any run seed, not one lucky constant."""
     for seed in (0, 1, 99):

@@ -45,6 +45,7 @@ WORKLOADS = {
 }
 
 PARTITIONERS = ("prompt", "hash")
+FEEDBACK_PARTITIONERS = ("d-choices", "w-choices", "fang")
 EXECUTORS = ("serial", "parallel")
 
 
@@ -111,6 +112,46 @@ def test_depth2_matches_sequential(workload, partitioner, executor):
         assert pipelined.backend_name == "parallel"
         assert pipelined.executor_fallbacks == 0
         assert pipelined.stats.backends_used() == ("parallel",)
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("partitioner", FEEDBACK_PARTITIONERS)
+def test_feedback_consumers_depth2_matches_sequential(partitioner, executor):
+    """The lag-2 feedback discipline makes the adaptive techniques
+    driver-invariant: what they observe (and hence decide) is the same
+    whether batch k-2 completed synchronously or was drained while
+    batch k-1 was in flight."""
+    reference = _run("synd-skewed", partitioner, executor, 1)
+    pipelined = _run("synd-skewed", partitioner, executor, 2)
+    _assert_equivalent(reference, pipelined)
+
+
+@pytest.mark.parametrize("partitioner", FEEDBACK_PARTITIONERS)
+def test_feedback_consumers_survive_task_crashes(partitioner):
+    """Retries happen on the dispatcher thread while feedback for the
+    crashed batch is still pending — the published load must be that of
+    the *successful* attempt, identically to the sequential run."""
+    injector = (
+        TaskFaultInjector()
+        .crash(0, "map", 0, times=1)
+        .crash(1, "reduce", 1, times=2)
+    )
+    reference = _run("synd-skewed", partitioner, "serial", 1)
+    pipelined = _run(
+        "synd-skewed", partitioner, "parallel", 2, injector=injector
+    )
+    _assert_equivalent(reference, pipelined)
+    assert pipelined.stats.total_task_retries() >= 3
+    assert pipelined.executor_fallbacks == 0
+
+
+@pytest.mark.parametrize("partitioner", FEEDBACK_PARTITIONERS)
+def test_feedback_consumers_clamp_deeper_pipelines(partitioner):
+    """Depth 4 cannot honor lag-2 delivery, so the engine clamps it for
+    feedback consumers — the run must equal the sequential reference."""
+    reference = _run("synd-skewed", partitioner, "parallel", 1)
+    deep = _run("synd-skewed", partitioner, "parallel", 4)
+    _assert_equivalent(reference, deep)
 
 
 @pytest.mark.parametrize("seed", (0, 1, 7, 99))

@@ -1,0 +1,94 @@
+"""The candidate cache must stay bounded under key churn.
+
+Regression for the unbounded ``_candidate_cache`` dict the key-split
+partitioners used to keep: with a churning vocabulary the lifetime key
+universe is unbounded, so the memo has to evict.  Eviction is safe by
+construction — candidates are a pure function of (key, buckets, d) —
+which the equality test pins down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import BatchInfo
+from repro.core.hashing import CandidateCache, candidate_buckets
+from repro.partitioners.cam import CAMPartitioner
+from repro.partitioners.heavy_split import HeavyHitterSplitPartitioner
+from repro.partitioners.key_split import KeySplitPartitioner, PK2Partitioner
+from repro.workloads import key_churn_source
+
+
+class TestCandidateCache:
+    def test_returns_the_pure_function_result(self):
+        cache = CandidateCache(capacity=4)
+        for key in ("a", "b", "c"):
+            assert cache.get(key, 8, 2) == candidate_buckets(key, 8, 2)
+        assert len(cache) == 3
+
+    def test_capacity_is_a_hard_bound(self):
+        cache = CandidateCache(capacity=10)
+        for i in range(1000):
+            cache.get(f"k{i}", 8, 2)
+        assert len(cache) == 10
+
+    def test_evicts_least_recently_used_first(self):
+        cache = CandidateCache(capacity=2)
+        cache.get("old", 8, 2)
+        cache.get("new", 8, 2)
+        cache.get("old", 8, 2)  # refresh: "new" is now the LRU entry
+        cache.get("third", 8, 2)
+        assert ("old", 8, 2) in cache._entries
+        assert ("new", 8, 2) not in cache._entries
+
+    def test_eviction_never_changes_candidates(self):
+        cache = CandidateCache(capacity=3)
+        first = {f"k{i}": cache.get(f"k{i}", 8, 5) for i in range(50)}
+        again = {f"k{i}": cache.get(f"k{i}", 8, 5) for i in range(50)}
+        assert first == again
+
+    def test_distinct_bucket_counts_are_distinct_entries(self):
+        cache = CandidateCache()
+        assert cache.get("k", 8, 2) is not cache.get("k", 16, 2)
+        assert len(cache) == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            CandidateCache(capacity=0)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: KeySplitPartitioner(d=2, cache_size=64),
+        lambda: PK2Partitioner(),
+        lambda: HeavyHitterSplitPartitioner(cache_size=64),
+        lambda: CAMPartitioner(cache_size=64),
+    ],
+    ids=["pkd", "pk2", "pkh", "cam"],
+)
+def test_cache_stays_bounded_under_key_churn(factory):
+    """Many churn batches must not grow the memo past its capacity."""
+    part = factory()
+    part.reset()
+    source = key_churn_source(
+        rate=2_000.0, num_keys=500, churn_interval=0.25, drift_keys=250, seed=9
+    )
+    for k in range(12):
+        tuples = source.tuples_between(k * 0.5, (k + 1) * 0.5)
+        batch = part.partition(tuples, 8, BatchInfo(k, k * 0.5, (k + 1) * 0.5))
+        batch.validate(expected_tuples=len(tuples))
+    assert len(part._candidate_cache) <= part._candidate_cache.capacity
+
+
+def test_layout_unchanged_by_cache_pressure():
+    """A tiny cache (constant thrashing) still yields identical layouts."""
+    roomy, tiny = KeySplitPartitioner(d=2), KeySplitPartitioner(d=2, cache_size=1)
+    source = key_churn_source(rate=2_000.0, num_keys=300, seed=4)
+    tuples = source.tuples_between(0.0, 1.0)
+    info = BatchInfo(0, 0.0, 1.0)
+    a = roomy.partition(tuples, 8, info)
+    b = tiny.partition(tuples, 8, info)
+    assert [bl.fragment_sizes() for bl in a.blocks] == [
+        bl.fragment_sizes() for bl in b.blocks
+    ]

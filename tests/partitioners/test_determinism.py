@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.batch import BatchInfo
-from repro.partitioners import PARTITIONER_NAMES, make_partitioner
+from repro.partitioners import PARTITIONER_NAMES, WorkerLoadFeedback, make_partitioner
 
 from ..conftest import make_tuples, zipfish_freqs
 
@@ -39,6 +39,37 @@ def test_reset_restores_initial_behaviour(name):
     reused = part.partition(tuples, 4, INFO)
     fresh = make_partitioner(name).partition(tuples, 4, INFO)
     assert _layout(reused) == _layout(fresh)
+
+
+@pytest.mark.parametrize("name", ["d-choices", "w-choices", "fang"])
+def test_feedback_consumers_agree_under_identical_feedback(name):
+    """Same batches + same feedback history => byte-identical layouts.
+
+    The adaptive techniques fold delivered load observations into later
+    decisions, so determinism must hold over the *(batch, feedback)*
+    sequence, not just over single batches."""
+    tuples = make_tuples(zipfish_freqs(40, 600), shuffle_seed=4)
+    layouts = []
+    for _ in range(2):
+        part = make_partitioner(name)
+        part.reset()
+        run = []
+        for k in range(3):
+            info = BatchInfo(k, float(k), float(k + 1))
+            batch = part.partition(tuples, 6, info)
+            run.append((_layout(batch), sorted(map(repr, batch.split_keys))))
+            part.observe_load(
+                WorkerLoadFeedback(
+                    batch_index=k,
+                    block_sizes=tuple(b.size for b in batch.blocks),
+                    block_cardinalities=tuple(b.cardinality for b in batch.blocks),
+                    block_loads=tuple(float(b.size) for b in batch.blocks),
+                    bucket_weights=(),
+                    bucket_loads=(),
+                )
+            )
+        layouts.append(run)
+    assert layouts[0] == layouts[1]
 
 
 @pytest.mark.parametrize("name", ["hash", "pk2", "pk5", "cam"])

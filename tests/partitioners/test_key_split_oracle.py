@@ -1,0 +1,126 @@
+"""Property-based oracle for the choice-based key splitters.
+
+A seeded fuzz sweep over random Zipf instances (3000+ technique runs)
+checks the invariants every PKG-family partitioner must uphold, plus
+the calibrated quality ordering:
+
+- **conservation**: every tuple is placed exactly once — per-key block
+  fragments sum back to the input frequency vector;
+- **choice bound**: a key assigned by d choices can touch at most
+  ``min(d, B)`` blocks, so per-key fragments and KSR are both bounded
+  by the choice degree (W-Choices degrades to the trivial ``B`` bound);
+- **monotone balance**: more choices can only help balance — the mean
+  BSI over seeds is non-increasing from PK2 to PK5 to W-Choices.  The
+  ordering holds *in expectation*, not per instance, so it is asserted
+  over the seed population with 5% multiplicative slack (calibrated:
+  the observed gaps are > 2x, the slack only absorbs sampling noise).
+
+Instances stay small (<= 120 keys, <= ~400 tuples, 8 blocks) so the
+full sweep costs seconds; the W-Choices instance is configured with a
+tiny sketch and near-zero threshold so head detection engages within
+the first few tuples of every instance.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.batch import BatchInfo
+from repro.core.metrics import evaluate_partition
+from repro.partitioners.key_split import (
+    PK2Partitioner,
+    PK5Partitioner,
+    WChoicesPartitioner,
+)
+
+from ..conftest import make_tuples
+
+INFO = BatchInfo(0, 0.0, 1.0)
+NUM_SEEDS = 1000
+NUM_BLOCKS = 8
+
+#: (name, factory, choice degree d; None = unbounded / all blocks)
+TECHNIQUES = (
+    ("pk2", lambda: PK2Partitioner(), 2),
+    ("pk5", lambda: PK5Partitioner(), 5),
+    (
+        "w-choices",
+        lambda: WChoicesPartitioner(threshold=1e-6, sketch_capacity=8),
+        None,
+    ),
+)
+
+
+def _zipf_instance(seed: int):
+    """One random Zipf frequency vector plus its shuffled tuple list."""
+    rng = random.Random(seed)
+    num_keys = rng.randint(20, 120)
+    total = rng.randint(200, 400)
+    exponent = rng.uniform(0.8, 1.8)
+    weights = [(i + 1) ** -exponent for i in range(num_keys)]
+    scale = total / sum(weights)
+    freqs = {f"k{i}": max(1, round(w * scale)) for i, w in enumerate(weights)}
+    return freqs, make_tuples(freqs, shuffle_seed=seed)
+
+
+@pytest.fixture(scope="module")
+def oracle_records():
+    """One partition per (seed, technique): the whole sweep, computed once."""
+    records = []
+    for seed in range(NUM_SEEDS):
+        freqs, tuples = _zipf_instance(seed)
+        for name, factory, degree in TECHNIQUES:
+            part = factory()
+            part.reset()
+            batch = part.partition(tuples, NUM_BLOCKS, INFO)
+            batch.validate(expected_tuples=len(tuples))
+            placed: dict[str, int] = {}
+            spans: dict[str, int] = {}
+            for block in batch.blocks:
+                for key, size in block.fragment_sizes().items():
+                    placed[key] = placed.get(key, 0) + size
+                    spans[key] = spans.get(key, 0) + 1
+            quality = evaluate_partition(batch)
+            records.append(
+                {
+                    "seed": seed,
+                    "technique": name,
+                    "placed_ok": placed == freqs,
+                    "max_span": max(spans.values()),
+                    "bound": NUM_BLOCKS if degree is None else min(degree, NUM_BLOCKS),
+                    "bsi": quality.bsi,
+                    "ksr": quality.ksr,
+                }
+            )
+    return records
+
+
+def test_sweep_covers_three_thousand_instances(oracle_records):
+    assert len(oracle_records) == NUM_SEEDS * len(TECHNIQUES) >= 3000
+
+
+def test_every_tuple_placed_exactly_once(oracle_records):
+    bad = [r for r in oracle_records if not r["placed_ok"]]
+    assert not bad, f"conservation violated on {len(bad)} instances: {bad[:3]}"
+
+
+def test_key_spans_respect_choice_bound(oracle_records):
+    bad = [r for r in oracle_records if r["max_span"] > r["bound"]]
+    assert not bad, f"choice bound violated on {len(bad)} instances: {bad[:3]}"
+
+
+def test_ksr_bounded_by_choice_degree(oracle_records):
+    for r in oracle_records:
+        assert 1.0 <= r["ksr"] <= r["bound"] + 1e-9, r
+
+
+def test_mean_balance_monotone_in_choices(oracle_records):
+    means = {}
+    for name, _, _ in TECHNIQUES:
+        values = [r["bsi"] for r in oracle_records if r["technique"] == name]
+        means[name] = sum(values) / len(values)
+    # more choices -> better expected balance, with 5% sampling slack
+    assert means["pk5"] <= means["pk2"] * 1.05
+    assert means["w-choices"] <= means["pk5"] * 1.05

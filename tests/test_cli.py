@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import pickle
+from pathlib import Path
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
+from repro.partitioners import PARTITIONER_NAMES, make_partitioner
 
 
 def test_list_prints_every_experiment(capsys):
@@ -112,3 +116,36 @@ def test_log_level_streams_diagnostics_to_stderr(capsys):
     captured = capsys.readouterr()
     assert "throughput" in captured.out
     assert "repro.engine" in captured.err
+
+
+@pytest.mark.parametrize("name", PARTITIONER_NAMES)
+def test_every_registry_name_round_trips(name):
+    """Each registry name must parse as ``--partitioner``, construct,
+    and survive the pickling the parallel backend's run context needs."""
+    from repro.cli import _build_parser
+
+    args = _build_parser().parse_args(["quickstart", "--partitioner", name])
+    assert args.partitioner == name
+    part = make_partitioner(name)
+    assert part.name == name or name.startswith("prompt")
+    restored = pickle.loads(pickle.dumps(part))
+    assert restored.name == part.name
+    allocation = part.reduce_allocation()
+    assert pickle.loads(pickle.dumps(allocation)) is not None
+
+
+@pytest.mark.parametrize("name", PARTITIONER_NAMES)
+def test_every_registry_name_is_documented(name):
+    """doc-sync: the API reference must list every technique."""
+    api = (Path(__file__).resolve().parents[1] / "docs" / "api.md").read_text()
+    assert f"`{name}`" in api, f"{name} missing from docs/api.md"
+
+
+def test_quickstart_accepts_a_partitioner(capsys):
+    assert main(["quickstart", "--partitioner", "d-choices"]) == 0
+    assert "throughput" in capsys.readouterr().out
+
+
+def test_quickstart_rejects_unknown_partitioner():
+    with pytest.raises(SystemExit):
+        main(["quickstart", "--partitioner", "nonesuch"])

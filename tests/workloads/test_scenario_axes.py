@@ -1,0 +1,127 @@
+"""The churn and adversarial hot-flip scenario axes."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads import (
+    HotKeyFlipSource,
+    KeyChurnSource,
+    hot_key_flip_source,
+    key_churn_source,
+)
+
+AXES = [
+    ("churn", lambda: key_churn_source(rate=2_000.0, seed=1)),
+    ("hot-flip", lambda: hot_key_flip_source(rate=2_000.0, seed=1)),
+]
+
+
+@pytest.mark.parametrize("name,factory", AXES)
+def test_axes_emit_sorted_in_interval(name, factory):
+    source = factory()
+    tuples = source.tuples_between(1.0, 2.0)
+    assert len(tuples) == 2_000
+    assert all(1.0 <= t.ts < 2.0 for t in tuples)
+    assert [t.ts for t in tuples] == sorted(t.ts for t in tuples)
+
+
+@pytest.mark.parametrize("name,factory", AXES)
+def test_axes_are_deterministic_and_resettable(name, factory):
+    source = factory()
+    first = source.tuples_between(0.0, 1.5)
+    source.reset()
+    replay = source.tuples_between(0.0, 1.5)
+    assert [t.key for t in first] == [t.key for t in replay]
+
+
+@pytest.mark.parametrize("name,factory", AXES)
+def test_axes_expose_properties(name, factory):
+    source = factory()
+    props = source.properties()
+    assert props is not None
+    assert props.scaled_cardinality > 0
+    assert source.num_keys > 0
+    assert source.exponent > 0
+
+
+class TestKeyChurn:
+    def test_vocabulary_drifts_between_epochs(self):
+        source = key_churn_source(
+            rate=4_000.0, num_keys=500, churn_interval=1.0, drift_keys=100, seed=3
+        )
+        epoch0 = {t.key for t in source.tuples_between(0.0, 1.0)}
+        epoch3 = {t.key for t in source.tuples_between(3.0, 4.0)}
+        # 100 of 500 identities retire per epoch: 3 epochs shift the
+        # window by 300 keys, so overlap is the surviving 200-key band
+        assert epoch0 != epoch3
+        retired = epoch0 - epoch3
+        entered = epoch3 - epoch0
+        assert retired and entered
+
+    def test_instant_vocabulary_stays_bounded(self):
+        source = key_churn_source(rate=4_000.0, num_keys=300, seed=5)
+        for k in range(4):
+            keys = {t.key for t in source.tuples_between(float(k), float(k + 1))}
+            # one interval spans at most two epochs of the same window
+            assert len(keys) <= 300 + source.drift_keys
+
+    def test_default_drift_is_ten_percent(self):
+        assert key_churn_source(num_keys=2_000).drift_keys == 200
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            key_churn_source(churn_interval=0.0)
+        with pytest.raises(ValueError):
+            KeyChurnSource(
+                arrival=None, num_keys=10, exponent=1.0,
+                churn_interval=1.0, drift_keys=0,
+            )
+
+
+class TestHotKeyFlip:
+    def test_hot_identities_move_between_phases(self):
+        source = hot_key_flip_source(
+            rate=6_000.0, num_keys=200, exponent=1.6,
+            flip_interval=0.5, hot_ranks=3, seed=7,
+        )
+        top0 = {k for k, _ in Counter(
+            t.key for t in source.tuples_between(0.0, 0.5)
+        ).most_common(3)}
+        top1 = {k for k, _ in Counter(
+            t.key for t in source.tuples_between(0.5, 1.0)
+        ).most_common(3)}
+        assert top0.isdisjoint(top1)
+
+    def test_identity_map_is_a_permutation_every_phase(self):
+        source = hot_key_flip_source(num_keys=150, hot_ranks=4, seed=2)
+        for phase in range(12):
+            images = {source._identity(r, phase) for r in range(150)}
+            assert images == set(range(150))
+
+    def test_flips_land_mid_window_by_default(self):
+        source = hot_key_flip_source(rate=4_000.0, seed=1)
+        assert 0.0 < source.flip_interval < 1.0  # inside a 1s batch
+
+    def test_total_mass_is_flip_invariant(self):
+        """The flip permutes identities, it must not change the skew."""
+        source = hot_key_flip_source(
+            rate=6_000.0, num_keys=200, exponent=1.4, flip_interval=0.5, seed=9
+        )
+        c0 = Counter(t.key for t in source.tuples_between(0.0, 0.5))
+        c1 = Counter(t.key for t in source.tuples_between(0.5, 1.0))
+        shape0 = sorted(c0.values(), reverse=True)
+        shape1 = sorted(c1.values(), reverse=True)
+        # same arrival process, same sampler: identical counts, new names
+        assert sum(shape0) == sum(shape1)
+        assert abs(shape0[0] - shape1[0]) < 0.25 * shape0[0]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            hot_key_flip_source(flip_interval=0.0)
+        with pytest.raises(ValueError):
+            hot_key_flip_source(hot_ranks=0)
+        with pytest.raises(ValueError):
+            hot_key_flip_source(num_keys=8, hot_ranks=4)
