@@ -1,0 +1,59 @@
+"""Vectorized ingest kernels: wall-clock gate vs the pure-Python oracle.
+
+Times the full ingest → quasi-sort → placement pipeline on SynD
+light-workload rows with both ``ingest_kernel`` settings.  Every row
+first proves the numpy path byte-identical to the oracle (the bench
+asserts this internally before timing), then the gate requires a ≥3x
+geometric-mean tuples/sec improvement with a 2x floor per row; the
+paper-facing 10x target is recorded (the ``prompt-exact`` ablation row
+reaches it) but not gated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.bench import format_table
+from repro.bench.ingest import INGEST_SCENARIOS, bench_vectorized_ingest, ingest_gate
+
+
+def test_vectorized_ingest(benchmark, record_experiment):
+    rows = benchmark.pedantic(
+        lambda: bench_vectorized_ingest(),
+        rounds=1,
+        iterations=1,
+    )
+    gate = ingest_gate(rows)
+    payload = {"rows": rows, "gate": gate}
+    record_experiment(
+        "BENCH_vectorized_ingest",
+        format_table(
+            rows,
+            columns=[
+                "Row",
+                "ZipfExponent",
+                "NumKeys",
+                "ExactUpdates",
+                "Tuples",
+                "PythonSeconds",
+                "NumpySeconds",
+                "Speedup",
+                "NumpyTuplesPerSec",
+            ],
+            title="Vectorized ingest kernels: python oracle vs numpy wall-clock",
+        )
+        + "\n\n"
+        + format_table([gate], title="Gate: geomean >= 3x, per-row floor 2x"),
+        payload,
+    )
+
+    # Coverage: every default scenario ran and proved identity.
+    assert len(rows) == len(INGEST_SCENARIOS)
+    assert all(r["OutputsIdentical"] for r in rows)
+
+    # The gate.  The 10x target is informational: the exact-updates
+    # ablation clears it by a wide margin on this container, but host
+    # noise must not be able to fail CI on an aspirational number.
+    assert gate["GatePassed"], gate

@@ -13,6 +13,7 @@ from .experiments import (
     table1_dataset_stats,
 )
 from .harness import ThroughputResult, ThroughputSearch, run_at_rate
+from .ingest import INGEST_SCENARIOS, bench_vectorized_ingest, ingest_gate
 from .report import render_run, sparkline
 from .reporting import format_series, format_table, results_dir, save_results
 from .payload import (
@@ -34,6 +35,7 @@ from .shootout import (
 from .speedup import bench_parallel_speedup, heavy_count_one
 
 __all__ = [
+    "INGEST_SCENARIOS",
     "PAPER_TECHNIQUES",
     "SHOOTOUT_TECHNIQUES",
     "ShootoutScenario",
@@ -44,6 +46,7 @@ __all__ = [
     "bench_parallel_speedup",
     "bench_payload_overhead",
     "bench_pipeline_overlap",
+    "bench_vectorized_ingest",
     "broadcast_wordcount_query",
     "fig6_assignment_tradeoffs",
     "fig10_partition_metrics",
@@ -59,6 +62,7 @@ __all__ = [
     "joint_imbalance_score",
     "partitioner_shootout",
     "high_skew_verdicts",
+    "ingest_gate",
     "render_run",
     "results_dir",
     "shootout_quality",

@@ -38,11 +38,12 @@ class DataBlock:
     block tracks its total tuple weight and key cardinality in O(1).
     """
 
-    __slots__ = ("index", "_fragments", "_weight")
+    __slots__ = ("index", "_fragments", "_fragment_weights", "_weight")
 
     def __init__(self, index: int) -> None:
         self.index = index
         self._fragments: dict[Key, list[StreamTuple]] = {}
+        self._fragment_weights: dict[Key, int] = {}
         self._weight = 0
 
     # -- mutation -------------------------------------------------------
@@ -50,22 +51,47 @@ class DataBlock:
         """Append ``tuples`` to this block's fragment of ``key``."""
         if not tuples:
             return
+        weight = sum(t.weight for t in tuples)
         chain = self._fragments.get(key)
         if chain is None:
             self._fragments[key] = list(tuples)
+            self._fragment_weights[key] = weight
         else:
             chain.extend(tuples)
-        self._weight += sum(t.weight for t in tuples)
+            self._fragment_weights[key] += weight
+        self._weight += weight
 
     def add_tuple(self, t: StreamTuple) -> None:
         self.add_fragment(t.key, (t,))
+
+    def install_fragment(
+        self, key: Key, tuples: Sequence[StreamTuple], weight: int
+    ) -> None:
+        """``add_fragment`` with a caller-vouched total ``weight``.
+
+        The batch kernels already hold every fragment's exact weight
+        (from vectorized sums), so re-summing ``t.weight`` per tuple
+        here would re-pay the per-tuple Python cost the kernels exist
+        to remove.  The caller is trusted; a wrong weight corrupts the
+        block's size bookkeeping.
+        """
+        if not tuples:
+            return
+        chain = self._fragments.get(key)
+        if chain is None:
+            self._fragments[key] = list(tuples)
+            self._fragment_weights[key] = weight
+        else:
+            chain.extend(tuples)
+            self._fragment_weights[key] += weight
+        self._weight += weight
 
     def remove_fragment(self, key: Key) -> list[StreamTuple]:
         """Detach and return this block's fragment of ``key``."""
         chain = self._fragments.pop(key, None)
         if chain is None:
             return []
-        self._weight -= sum(t.weight for t in chain)
+        self._weight -= self._fragment_weights.pop(key)
         return chain
 
     # -- inspection ------------------------------------------------------
@@ -87,10 +113,8 @@ class DataBlock:
         return self._fragments.get(key, [])
 
     def fragment_sizes(self) -> dict[Key, int]:
-        """Per-key total weight inside this block."""
-        return {
-            k: sum(t.weight for t in chain) for k, chain in self._fragments.items()
-        }
+        """Per-key total weight inside this block (O(1) per key, cached)."""
+        return dict(self._fragment_weights)
 
     def tuples(self) -> Iterator[StreamTuple]:
         for chain in self._fragments.values():

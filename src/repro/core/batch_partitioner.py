@@ -59,6 +59,32 @@ def split_group_by_weight(
     return list(tuples), []
 
 
+def _split_with_weight(
+    tuples: Sequence[StreamTuple], cut: int, total_weight: int | None = None
+) -> tuple[list[StreamTuple], list[StreamTuple], int]:
+    """:func:`split_group_by_weight` that also reports the head's weight.
+
+    The splitting walk accumulates the head weight anyway; returning it
+    lets callers that track fragment weights re-install both halves
+    without re-summing per tuple.  When the caller knows the chain's
+    ``total_weight``, unit-weight chains are detected in O(1) —
+    ``StreamTuple`` enforces ``weight >= 1``, so total == count iff
+    every weight is 1 — and split by pure slicing.
+    """
+    if cut <= 0:
+        return [], list(tuples), 0
+    count = len(tuples)
+    if total_weight is not None and total_weight == count:
+        head = list(tuples[:cut])
+        return head, list(tuples[cut:]), len(head)
+    acc = 0
+    for i, t in enumerate(tuples):
+        acc += t.weight
+        if acc >= cut:
+            return list(tuples[: i + 1]), list(tuples[i + 1 :]), acc
+    return list(tuples), [], acc
+
+
 @dataclass(slots=True)
 class _Residual:
     """A parked residual fragment of a split key (zigzag strategy)."""
@@ -116,7 +142,7 @@ class PromptBatchPartitioner:
         s_cut = max(1, int((p_size / p_card) * self.config.split_cutoff_scale))
 
         if self.strategy == "greedy":
-            self._greedy_assign(key_groups, blocks, placements, p_size)
+            self._greedy_assign(key_groups, blocks, placements, p_size, s_cut)
         else:
             residuals, whole_groups = self._split_pass(
                 key_groups, blocks, placements, s_cut
@@ -143,6 +169,7 @@ class PromptBatchPartitioner:
         blocks: list[DataBlock],
         placements: dict[Key, set[int]],
         p_size: int,
+        s_cut: int,
     ) -> None:
         """BestFitDecreasing over split keys, then the zigzag deal.
 
@@ -155,14 +182,12 @@ class PromptBatchPartitioner:
         than half a block is diced into half-block chunks first
         (requirement 3: minimal fragments, each split key touches
         ``ceil(size / (p_size/2))`` blocks at most).
+
+        ``s_cut`` is the cutoff ``partition`` already derived from the
+        same ``p_size``/``p_card`` (line 3 of Algorithm 2) — passed
+        through rather than recomputed so the two strategies can never
+        drift apart under a ``split_cutoff_scale``/``p_card`` change.
         """
-        s_cut = max(
-            1,
-            int(
-                (p_size / max(1, len(key_groups) // len(blocks)))
-                * self.config.split_cutoff_scale
-            ),
-        )
         # Chunk size for dicing hot keys: at least half a block (so no
         # block is monopolized under extreme skew and every block keeps
         # headroom for small keys), but when the expected per-block
@@ -174,15 +199,31 @@ class PromptBatchPartitioner:
         split_groups = [g for g in key_groups if g.size > s_cut]
         small_groups = [g for g in key_groups if g.size <= s_cut]
 
-        # Phase 1: LPT placement of split keys, diced to chunks.
+        # Phase 1: LPT placement of split keys, diced to chunks.  The
+        # chain is walked with an index cursor — each chunk slices only
+        # its own span, so a mega-key diced into c chunks copies O(n)
+        # tuples total, not the O(c*n) that re-slicing the remaining
+        # chain per chunk would.
         for group in split_groups:
             placed = placements.setdefault(group.key, set())
             tuples: Sequence[StreamTuple] = group.tuples
-            while tuples:
-                chunk, tuples = split_group_by_weight(tuples, chunk_cap)
+            n = len(tuples)
+            start = 0
+            while start < n:
+                # Shortest span whose weight reaches the chunk cap (the
+                # tail chunk takes whatever remains below it), exactly
+                # split_group_by_weight's prefix rule.
+                acc = 0
+                end = start
+                while end < n:
+                    acc += tuples[end].weight
+                    end += 1
+                    if acc >= chunk_cap:
+                        break
                 target = min(blocks, key=lambda b: (b.size, b.cardinality, b.index))
-                target.add_fragment(group.key, chunk)
+                target.add_fragment(group.key, tuples[start:end])
                 placed.add(target.index)
+                start = end
 
         # Phase 2: zigzag deal of the small keys (equal counts per block;
         # quasi-sorted order keeps per-pass sizes comparable).  Blocks
@@ -248,7 +289,7 @@ class PromptBatchPartitioner:
             within = [a for a in admissible if a[0] <= excess]
             if within:
                 fsize, _, key = min(within)
-                receiver.add_fragment(key, donor.remove_fragment(key))
+                receiver.install_fragment(key, donor.remove_fragment(key), fsize)
                 placements[key] = {receiver.index}
                 continue
             # Move 2: shave the donor's largest fragment.
@@ -270,24 +311,26 @@ class PromptBatchPartitioner:
             moved = False
             if piece > 0:
                 chain = donor.remove_fragment(key)
-                keep, move = split_group_by_weight(chain, fsize - piece)
+                keep, move, keep_weight = _split_with_weight(
+                    chain, fsize - piece, fsize
+                )
                 if move:
                     if keep:
-                        donor.add_fragment(key, keep)
+                        donor.install_fragment(key, keep, keep_weight)
                     else:
                         placements[key].discard(donor.index)
-                    shave_receiver.add_fragment(key, move)
+                    shave_receiver.install_fragment(key, move, fsize - keep_weight)
                     placements[key].add(shave_receiver.index)
                     moved = True
                 else:
                     # Indivisible tuple weights: the shave cannot carve
                     # this piece off; restore and fall through.
-                    donor.add_fragment(key, keep)
+                    donor.install_fragment(key, keep, keep_weight)
             if moved:
                 continue
             if admissible:
                 fsize, _, key = min(admissible)
-                receiver.add_fragment(key, donor.remove_fragment(key))
+                receiver.install_fragment(key, donor.remove_fragment(key), fsize)
                 placements[key] = {receiver.index}
                 continue
             return  # nothing improves within the item granularity

@@ -59,9 +59,13 @@ class AccumulatedBatch:
 
     @property
     def data_rate(self) -> float:
-        """Average arrival rate over the interval (tuples/second)."""
+        """Average arrival rate over the interval (tuples/second).
+
+        A non-positive interval has no meaningful rate; it reports 0.0
+        rather than silently pretending the interval was one second.
+        """
         interval = self.info.interval
-        return self.tuple_count / interval if interval > 0 else float(self.tuple_count)
+        return self.tuple_count / interval if interval > 0 else 0.0
 
     def arrival_order(self) -> list[StreamTuple]:
         """All tuples re-sorted by timestamp (for order-sensitive baselines).
@@ -228,6 +232,18 @@ class MicroBatchAccumulator:
         self.count_tree.clear()
         self._info = None
         return batch
+
+    def record_interval_stats(self, tuple_count: int, key_count: int) -> None:
+        """Feed one interval's totals into the ``N_est``/``K_avg`` history.
+
+        ``finalize`` does this implicitly; the batch ingest kernel
+        (:mod:`repro.core.kernels`) computes an interval without ever
+        opening one here, so it reports the totals through this hook —
+        keeping the cross-batch adaptation state identical between the
+        two paths.
+        """
+        self._tuple_history.append(tuple_count)
+        self._key_history.append(key_count)
 
     def accept_all(self, tuples: Iterable[StreamTuple]) -> None:
         """Bulk-feed tuples (simulator convenience).

@@ -12,6 +12,7 @@ actual cost against that budget).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from .batch import BatchInfo
@@ -34,11 +35,31 @@ class ReleaseWindow:
 
 
 class EarlyReleaseController:
-    """Computes release windows and audits partitioner latency against them."""
+    """Computes release windows and audits partitioner latency against them.
 
-    def __init__(self, config: EarlyReleaseConfig | None = None) -> None:
+    The audit retains only the most recent ``audit_window`` observations
+    (a long-running driver records one per batch, forever), while the
+    met/missed tallies run over the whole lifetime — so ``miss_rate`` is
+    exact even after the detailed window has rolled.
+    """
+
+    #: observations retained for the detailed audit (Fig 14b etc.)
+    DEFAULT_AUDIT_WINDOW = 4096
+
+    def __init__(
+        self,
+        config: EarlyReleaseConfig | None = None,
+        *,
+        audit_window: int = DEFAULT_AUDIT_WINDOW,
+    ) -> None:
+        if audit_window < 1:
+            raise ValueError(f"audit_window must be >= 1, got {audit_window}")
         self.config = config or EarlyReleaseConfig()
-        self._observed: list[tuple[float, float]] = []  # (elapsed, slack)
+        self.audit_window = audit_window
+        # (elapsed, slack) of the most recent audit_window batches
+        self._observed: deque[tuple[float, float]] = deque(maxlen=audit_window)
+        self._met = 0
+        self._missed = 0
 
     def window_for(self, info: BatchInfo) -> ReleaseWindow:
         """The batching cut-off for ``info``'s interval."""
@@ -52,21 +73,51 @@ class EarlyReleaseController:
     def record(self, partition_elapsed: float, window: ReleaseWindow) -> bool:
         """Log a partitioning run; returns True if it met the heartbeat."""
         self._observed.append((partition_elapsed, window.slack))
-        return partition_elapsed <= window.slack
+        met = partition_elapsed <= window.slack
+        if met:
+            self._met += 1
+        else:
+            self._missed += 1
+        return met
 
     @property
     def observations(self) -> list[tuple[float, float]]:
+        """The retained ``(elapsed, slack)`` pairs — most recent
+        ``audit_window`` batches only."""
         return list(self._observed)
 
+    @property
+    def met_count(self) -> int:
+        """Lifetime count of partitioning runs that met their slack."""
+        return self._met
+
+    @property
+    def missed_count(self) -> int:
+        """Lifetime count of partitioning runs that overran their slack."""
+        return self._missed
+
+    @property
+    def total_recorded(self) -> int:
+        """Lifetime number of recorded partitioning runs."""
+        return self._met + self._missed
+
     def miss_rate(self) -> float:
-        """Fraction of partitioning runs that overran their slack."""
-        if not self._observed:
+        """Lifetime fraction of partitioning runs that overran their slack.
+
+        Computed from the running tallies, so it stays exact even after
+        the detailed observation window has rolled over.
+        """
+        total = self._met + self._missed
+        if total == 0:
             return 0.0
-        misses = sum(1 for elapsed, slack in self._observed if elapsed > slack)
-        return misses / len(self._observed)
+        return self._missed / total
 
     def overhead_fractions(self, batch_interval: float) -> list[float]:
-        """Partitioning cost as a fraction of the batch interval (Fig 14b)."""
+        """Partitioning cost as a fraction of the batch interval (Fig 14b).
+
+        Covers the retained observation window (the most recent
+        ``audit_window`` batches).
+        """
         if batch_interval <= 0:
             raise ValueError("batch_interval must be positive")
         return [elapsed / batch_interval for elapsed, _ in self._observed]

@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from typing import Collection, Sequence
 
+from ..core import kernels
 from ..core.batch import BatchInfo, PartitionedBatch
 from ..core.batch_partitioner import PromptBatchPartitioner
 from ..core.buffering import AccumulatedBatch, MicroBatchAccumulator
@@ -62,6 +64,7 @@ class PromptPartitioner(Partitioner):
         strategy: str = "greedy",
         stats: str = "tree",
         sketch_capacity: int = 256,
+        ingest_kernel: str = "python",
     ) -> None:
         self.config = config or PromptConfig()
         self.post_sort = post_sort
@@ -84,6 +87,44 @@ class PromptPartitioner(Partitioner):
             self.config.partitioner, strategy=strategy
         )
         self.last_batch: AccumulatedBatch | None = None
+        self.ingest_kernel = "python"
+        self.configure_ingest(ingest_kernel)
+
+    def configure_ingest(self, kernel: str) -> None:
+        """Select the ingest path: ``"python"`` (oracle) or ``"numpy"``.
+
+        ``"numpy"`` enables the batch-at-a-time kernels of
+        :mod:`repro.core.kernels` for Algorithm 1 and (with the greedy
+        strategy) Algorithm 2 — bit-compatible with the Python path.
+        When numpy is not installed the request degrades to the Python
+        path with a warning instead of failing the run.
+        """
+        if kernel not in ("python", "numpy"):
+            raise ValueError(
+                f"ingest_kernel must be 'python' or 'numpy', got {kernel!r}"
+            )
+        if kernel == "numpy" and not kernels.HAVE_NUMPY:
+            warnings.warn(
+                "ingest_kernel='numpy' requested but numpy is not installed; "
+                "falling back to the pure-Python ingest path",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            kernel = "python"
+        self.ingest_kernel = kernel
+
+    def _kernel_active(self) -> bool:
+        """Whether this call should take the vectorized ingest path.
+
+        The kernels replicate the CountTree accumulator; the sketch
+        accumulator and the post-sort ablation measure *different*
+        mechanisms, so they always run their own (Python) code.
+        """
+        return (
+            self.ingest_kernel == "numpy"
+            and self.stats == "tree"
+            and not self.post_sort
+        )
 
     def reset(self) -> None:
         """Forget cross-batch state, including the accumulator's adaptive
@@ -118,17 +159,41 @@ class PromptPartitioner(Partitioner):
             self.last_batch = None
             return batch
 
-        buffering_started = time.perf_counter()
-        self.accumulator.start_interval(info)
-        self.accumulator.accept_all(tuples)
-        accumulated = self.accumulator.finalize()
-        buffer_elapsed = time.perf_counter() - buffering_started
-        self.last_batch = accumulated
-        started = time.perf_counter()
-        batch = self.batch_partitioner.partition(
-            accumulated.key_groups, num_blocks, info
-        )
-        batch.plan_elapsed = time.perf_counter() - started
+        if self._kernel_active():
+            assert isinstance(self.accumulator, MicroBatchAccumulator)
+            buffering_started = time.perf_counter()
+            ingest = kernels.accumulate_batch(tuples, info, self.accumulator)
+            accumulated = ingest.batch
+            buffer_elapsed = time.perf_counter() - buffering_started
+            self.last_batch = accumulated
+            started = time.perf_counter()
+            if self.batch_partitioner.strategy == "greedy":
+                batch = kernels.plan_greedy(
+                    self.batch_partitioner,
+                    accumulated.key_groups,
+                    num_blocks,
+                    info,
+                    sizes=ingest.group_sizes,
+                    unit_weights=ingest.unit_weights,
+                    chain_weights=ingest.chain_weights,
+                )
+            else:
+                batch = self.batch_partitioner.partition(
+                    accumulated.key_groups, num_blocks, info
+                )
+            batch.plan_elapsed = time.perf_counter() - started
+        else:
+            buffering_started = time.perf_counter()
+            self.accumulator.start_interval(info)
+            self.accumulator.accept_all(tuples)
+            accumulated = self.accumulator.finalize()
+            buffer_elapsed = time.perf_counter() - buffering_started
+            self.last_batch = accumulated
+            started = time.perf_counter()
+            batch = self.batch_partitioner.partition(
+                accumulated.key_groups, num_blocks, info
+            )
+            batch.plan_elapsed = time.perf_counter() - started
         batch.buffer_elapsed = buffer_elapsed
         self.metrics.counter(
             "prompt_tree_updates_total",

@@ -17,7 +17,10 @@ import abc
 import math
 from typing import Sequence
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # type: ignore[assignment]
 
 __all__ = [
     "ArrivalProcess",
@@ -36,6 +39,11 @@ class ArrivalProcess(abc.ABC):
     _GRID = 64
 
     def __init__(self) -> None:
+        if np is None:
+            raise ModuleNotFoundError(
+                "arrival processes need numpy for rate integration; "
+                "install the 'fast' extra (numpy) to generate workloads"
+            )
         self._carry = 0.0
 
     @abc.abstractmethod

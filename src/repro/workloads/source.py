@@ -13,7 +13,10 @@ import abc
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # type: ignore[assignment]
 
 from ..core.tuples import StreamTuple
 from .arrival import ArrivalProcess
@@ -51,8 +54,10 @@ class StreamSource(abc.ABC):
         return None
 
 
-# A value sampler turns (rng, count) into ``count`` tuple values.
-ValueSampler = Callable[[np.random.Generator, int], Sequence]
+# A value sampler turns (rng, count) into ``count`` tuple values.  The
+# generator type is a forward reference so this module imports (and the
+# StreamSource ABC stays usable) when numpy is absent.
+ValueSampler = Callable[["np.random.Generator", int], Sequence]
 
 
 class ZipfKeyedSource(StreamSource):

@@ -15,7 +15,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # type: ignore[assignment]
 
 __all__ = ["ZipfSampler"]
 
@@ -36,6 +39,11 @@ class ZipfSampler:
         shift: float = 0.0,
         seed: int = 0,
     ) -> None:
+        if np is None:
+            raise ModuleNotFoundError(
+                "ZipfSampler needs numpy; install the 'fast' extra (numpy) "
+                "to generate workloads"
+            )
         if num_keys < 1:
             raise ValueError(f"num_keys must be >= 1, got {num_keys}")
         if exponent < 0:

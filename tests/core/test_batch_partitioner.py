@@ -8,7 +8,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.batch import BatchInfo
+from collections.abc import Sequence as CollectionsSequence
+
+from repro.core.batch import BatchInfo, DataBlock
 from repro.core.batch_partitioner import PromptBatchPartitioner, split_group_by_weight
 from repro.core.config import PartitionerConfig
 from repro.core.metrics import evaluate_partition
@@ -278,3 +280,70 @@ def test_property_split_keys_are_exactly_multi_block_keys(freqs):
             assert key in batch.split_keys
         else:
             assert key not in batch.split_keys
+
+
+# ----------------------------------------------------------------------
+# hot-path regressions
+# ----------------------------------------------------------------------
+class _CountingChain(CollectionsSequence):
+    """A tuple chain that counts how many elements slicing copies out."""
+
+    def __init__(self, items):
+        self._items = list(items)
+        self.sliced_elements = 0
+
+    def __len__(self):
+        return len(self._items)
+
+    def __getitem__(self, ix):
+        if isinstance(ix, slice):
+            out = self._items[ix]
+            self.sliced_elements += len(out)
+            return out
+        return self._items[ix]
+
+
+def test_mega_key_dicing_is_linear():
+    """Dicing a hot key into c chunks must copy O(n) tuples, not O(c*n).
+
+    The pre-fix loop re-sliced the *remaining* chain for every chunk, so
+    each of the mega-key's tuples was copied once per chunk boundary it
+    survived past.  With the index cursor each tuple is sliced out
+    exactly once.
+    """
+    n = 4096
+    mega = KeyGroup(
+        key="mega",
+        tuples=[StreamTuple(ts=0.0, key="mega") for _ in range(n)],
+        tracked_count=n,
+    )
+    chain = _CountingChain(mega.tuples)
+    mega.tuples = chain  # type: ignore[assignment]
+    small = _groups({f"k{i}": 8 for i in range(7)})
+    groups = [mega, *small]
+
+    part = PromptBatchPartitioner()
+    batch = part.partition(groups, 8, INFO)
+
+    # Correctness: nothing lost, the mega key really was diced.
+    assert sum(b.size for b in batch.blocks) == n + 7 * 8
+    assert len(batch.split_keys.get("mega", ())) > 1
+    # Linear work: each tuple is sliced out of the chain exactly once.
+    assert chain.sliced_elements <= 2 * n
+
+
+def test_greedy_assign_honors_passed_cutoff():
+    """``_greedy_assign`` must use the cutoff ``partition`` hands it.
+
+    The pre-fix code silently recomputed ``s_cut`` from the key groups
+    (yielding 10 here, so nothing would split); the caller's value must
+    be authoritative so the two code paths can never drift apart.
+    """
+    part = PromptBatchPartitioner()
+    groups = _groups({k: 10 for k in "abcd"})
+    blocks = [DataBlock(i) for i in range(4)]
+    placements: dict = {}
+    part._greedy_assign(groups, blocks, placements, p_size=10, s_cut=4)
+    # With the caller's cutoff of 4 every size-10 key is a split key.
+    assert placements
+    assert all(len(ixs) > 1 for ixs in placements.values())

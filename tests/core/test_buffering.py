@@ -155,6 +155,30 @@ def test_data_rate_property():
     assert batch.data_rate == pytest.approx(50.0)
 
 
+def test_data_rate_non_positive_interval_is_zero():
+    # start_interval rejects empty intervals, but AccumulatedBatch can be
+    # constructed directly (e.g. by replay tooling); a degenerate interval
+    # must not report tuple_count as if the interval were one second.
+    from repro.core.buffering import AccumulatedBatch
+
+    zero = AccumulatedBatch(
+        info=BatchInfo(0, 1.0, 1.0),
+        key_groups=[],
+        tuple_count=100,
+        total_weight=100,
+        tree_updates=0,
+    )
+    assert zero.data_rate == 0.0
+    negative = AccumulatedBatch(
+        info=BatchInfo(0, 2.0, 1.0),
+        key_groups=[],
+        tuple_count=100,
+        total_weight=100,
+        tree_updates=0,
+    )
+    assert negative.data_rate == 0.0
+
+
 def test_arrival_order_reconstruction():
     acc = MicroBatchAccumulator()
     acc.start_interval(_info())

@@ -59,3 +59,33 @@ def test_overhead_fractions():
     assert ctl.overhead_fractions(2.0) == [pytest.approx(0.01), pytest.approx(0.02)]
     with pytest.raises(ValueError):
         ctl.overhead_fractions(0.0)
+
+
+def test_audit_window_is_bounded():
+    ctl = EarlyReleaseController(
+        EarlyReleaseConfig(slack_fraction=0.05), audit_window=8
+    )
+    window = ctl.window_for(BatchInfo(0, 0.0, 1.0))  # slack 0.05
+    for i in range(100):
+        elapsed = 0.01 if i % 4 else 0.2  # every 4th run misses
+        ctl.record(elapsed, window)
+    # Detailed observations roll over; the tallies keep the full history.
+    assert len(ctl.observations) == 8
+    assert len(ctl.overhead_fractions(1.0)) == 8
+    assert ctl.total_recorded == 100
+    assert ctl.met_count == 75
+    assert ctl.missed_count == 25
+    assert ctl.miss_rate() == pytest.approx(0.25)
+
+
+def test_audit_window_keeps_most_recent():
+    ctl = EarlyReleaseController(audit_window=3)
+    window = ctl.window_for(BatchInfo(0, 0.0, 1.0))
+    for elapsed in (0.01, 0.02, 0.03, 0.04, 0.05):
+        ctl.record(elapsed, window)
+    assert [e for e, _ in ctl.observations] == [0.03, 0.04, 0.05]
+
+
+def test_audit_window_validation():
+    with pytest.raises(ValueError):
+        EarlyReleaseController(audit_window=0)

@@ -1,0 +1,111 @@
+"""Fallback and feature-flag behavior of the ingest kernels.
+
+This module is deliberately numpy-free: it runs on the tier-1 CI leg
+that installs no numpy, where ``ingest_kernel="numpy"`` must degrade
+to the pure-Python oracle with a warning instead of failing the run.
+When numpy *is* present the same behavior is forced by monkeypatching
+``kernels.HAVE_NUMPY``, so both environments exercise the path.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import warnings
+
+import pytest
+
+from repro.core import kernels
+from repro.core.batch import BatchInfo
+from repro.core.tuples import StreamTuple
+from repro.partitioners.prompt import PromptPartitioner
+
+
+def _gen_batch(rng, n, num_keys):
+    ts = sorted(rng.uniform(0.0, 1.0) for _ in range(n))
+    tuples = [
+        StreamTuple(ts=ts[i], key=f"k{int(rng.paretovariate(1.1)) % num_keys}")
+        for i in range(n)
+    ]
+    return tuples, BatchInfo(index=0, t_start=0.0, t_end=1.0)
+
+
+def _snapshot(batch):
+    blocks = [
+        (
+            b.index,
+            b.size,
+            b.cardinality,
+            [
+                (key, [(t.ts, t.key, t.value, t.weight) for t in b.fragment(key)])
+                for key in b.keys
+            ],
+        )
+        for b in batch.blocks
+    ]
+    return pickle.dumps((blocks, list(batch.split_keys.items())))
+
+
+def test_no_numpy_fallback_warns_and_matches(monkeypatch):
+    """Without numpy the request degrades to the oracle, loudly."""
+    monkeypatch.setattr(kernels, "HAVE_NUMPY", False)
+    with pytest.warns(RuntimeWarning, match="numpy is not installed"):
+        fallback = PromptPartitioner(ingest_kernel="numpy")
+    assert fallback.ingest_kernel == "python"
+
+    oracle = PromptPartitioner(ingest_kernel="python")
+    rng = random.Random(123)
+    tuples, info = _gen_batch(rng, 400, 30)
+    assert _snapshot(oracle.partition(tuples, 4, info)) == _snapshot(
+        fallback.partition(tuples, 4, info)
+    )
+
+    # the kernel entry points refuse outright rather than mis-compute
+    with pytest.raises(RuntimeError):
+        kernels.accumulate_batch(tuples, info, oracle.accumulator)
+    with pytest.raises(RuntimeError):
+        kernels.plan_greedy(oracle.batch_partitioner, [], 4, info)
+
+
+def test_engine_config_numpy_request_degrades(monkeypatch):
+    """EngineConfig(ingest_kernel='numpy') warns once and still runs."""
+    monkeypatch.setattr(kernels, "HAVE_NUMPY", False)
+    partitioner = PromptPartitioner()
+    with pytest.warns(RuntimeWarning, match="numpy is not installed"):
+        partitioner.configure_ingest("numpy")
+    assert partitioner.ingest_kernel == "python"
+    rng = random.Random(7)
+    tuples, info = _gen_batch(rng, 100, 10)
+    batch = partitioner.partition(tuples, 3, info)
+    assert batch.total_tuples == 100
+
+
+def test_configure_ingest_rejects_unknown_kernel():
+    with pytest.raises(ValueError, match="ingest_kernel"):
+        PromptPartitioner(ingest_kernel="fortran")
+
+
+def test_numba_flag_without_numba_warns(monkeypatch):
+    """REPRO_NUMBA=1 degrades (loudly) when numba is not importable."""
+    if not kernels.HAVE_NUMPY:
+        pytest.skip("flag resolution short-circuits before numba without numpy")
+    monkeypatch.setenv("REPRO_NUMBA", "1")
+    import builtins
+
+    real_import = builtins.__import__
+
+    def _no_numba(name, *args, **kwargs):
+        if name == "numba":
+            raise ImportError("no numba in this environment")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", _no_numba)
+    with pytest.warns(RuntimeWarning, match="numba is not importable"):
+        assert kernels._numba_jit() is None
+
+
+def test_numba_flag_off_is_silent(monkeypatch):
+    monkeypatch.delenv("REPRO_NUMBA", raising=False)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert kernels._numba_jit() is None

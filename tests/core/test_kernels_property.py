@@ -1,0 +1,193 @@
+"""Property suite: the numpy ingest/placement kernels vs the Python oracle.
+
+The kernels in :mod:`repro.core.kernels` promise *bit-compatibility*
+with the per-tuple reference path — not statistical closeness.  This
+suite hammers that promise with >1000 seeded random instances:
+
+- Zipf-skewed key populations across cardinalities, batch sizes and
+  block counts, including weighted tuples (the non-unit placement
+  paths: cumulative-weight dicing, ``chain_weights``, weighted shave);
+- multi-batch replays with key *churn* (the key universe drifts
+  between intervals), so the accumulator's adaptive ``N_est``/``K_avg``
+  history — which feeds Algorithm 1's trigger steps — must evolve
+  identically along the whole trajectory;
+- duplicate timestamps and boundary arrivals, where only exact float
+  predicates (``a - b >= c``, never ``a >= b + c``) keep the paths in
+  agreement.
+
+Every instance compares the full decision surface: quasi-sort order,
+tracked counts, tree-update totals, per-block fragment contents *and
+insertion order*, split-key reference tables (including dict order),
+and chain object identity (kernels must not copy tuples).
+
+The per-key simulator variants (dense reference, event-jumping,
+vectorized scan) are also cross-checked directly.  The no-numpy
+fallback paths live in ``test_kernels_fallback.py``, which runs with
+or without numpy installed.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.core import kernels
+from repro.core.batch import BatchInfo
+from repro.core.tuples import StreamTuple
+from repro.partitioners.prompt import PromptPartitioner
+
+np = pytest.importorskip("numpy")
+
+#: scenarios x batches = instances; the accept gate is >= 1000
+NUM_SCENARIOS = 250
+BATCHES_PER_SCENARIO = 4
+
+
+def _gen_batch(rng, index, n, num_keys, key_base, weighted):
+    """One interval of Zipf-ish tuples with optional weights.
+
+    ``key_base`` shifts the key universe (churn): later batches draw
+    from a partially disjoint population, so cross-batch adaptation
+    sees genuinely new keys, not a reshuffle.
+    """
+    t_start = float(index)
+    t_end = t_start + 1.0
+    ts = sorted(rng.uniform(t_start, t_end) for _ in range(n))
+    if n >= 2 and rng.random() < 0.3:
+        # duplicate timestamps: tie-handling must match exactly
+        ts[n // 2] = ts[n // 2 - 1]
+    out = []
+    for i in range(n):
+        rank = int(rng.paretovariate(1.1)) % num_keys
+        weight = rng.randint(1, 5) if weighted else 1
+        out.append(
+            StreamTuple(ts=ts[i], key=f"k{key_base + rank}", weight=weight)
+        )
+    return out, BatchInfo(index=index, t_start=t_start, t_end=t_end)
+
+
+def _snapshot(partitioner, batch):
+    blocks = [
+        (
+            b.index,
+            b.size,
+            b.cardinality,
+            [
+                (key, [(t.ts, t.key, t.value, t.weight) for t in b.fragment(key)])
+                for key in b.keys
+            ],
+        )
+        for b in batch.blocks
+    ]
+    accumulated = partitioner.last_batch
+    return pickle.dumps(
+        (
+            blocks,
+            list(batch.split_keys.items()),
+            [(g.key, g.tracked_count, len(g.tuples)) for g in accumulated.key_groups],
+            (accumulated.tree_updates, accumulated.total_weight),
+        )
+    )
+
+
+@pytest.mark.parametrize("chunk", range(5))
+def test_kernel_matches_oracle_property(chunk):
+    """>=1000 random multi-batch instances, byte-identical outputs."""
+    per_chunk = NUM_SCENARIOS // 5
+    for scenario in range(chunk * per_chunk, (chunk + 1) * per_chunk):
+        rng = random.Random(9000 + scenario)
+        weighted = scenario % 4 == 3
+        num_keys = 3 + (scenario * 29) % 120
+        num_blocks = 2 + scenario % 7
+        oracle = PromptPartitioner(ingest_kernel="python")
+        kernel = PromptPartitioner(ingest_kernel="numpy")
+        key_base = 0
+        for index in range(BATCHES_PER_SCENARIO):
+            n = 50 + (scenario * 137 + index * 311) % 700
+            tuples, info = _gen_batch(rng, index, n, num_keys, key_base, weighted)
+            key_base += rng.choice((0, 0, num_keys // 3, num_keys))  # churn
+            oracle_batch = oracle.partition(tuples, num_blocks, info)
+            kernel_batch = kernel.partition(tuples, num_blocks, info)
+            assert _snapshot(oracle, oracle_batch) == _snapshot(
+                kernel, kernel_batch
+            ), f"scenario={scenario} batch={index}"
+            # chains must hold the *same* tuple objects, not copies
+            for og, kg in zip(
+                oracle.last_batch.key_groups, kernel.last_batch.key_groups
+            ):
+                assert all(a is b for a, b in zip(og.tuples, kg.tuples))
+
+
+def test_kernel_matches_oracle_exact_updates():
+    """The prompt-exact ablation (no budget) stays bit-identical too."""
+    for scenario in range(25):
+        rng = random.Random(4400 + scenario)
+        oracle = PromptPartitioner(ingest_kernel="python", exact_updates=True)
+        kernel = PromptPartitioner(ingest_kernel="numpy", exact_updates=True)
+        for index in range(3):
+            tuples, info = _gen_batch(
+                rng, index, 300, 40, 0, weighted=scenario % 3 == 2
+            )
+            oracle_batch = oracle.partition(tuples, 4, info)
+            kernel_batch = kernel.partition(tuples, 4, info)
+            assert _snapshot(oracle, oracle_batch) == _snapshot(kernel, kernel_batch)
+
+
+def test_empty_and_single_tuple_batches_match():
+    oracle = PromptPartitioner(ingest_kernel="python")
+    kernel = PromptPartitioner(ingest_kernel="numpy")
+    solo = [StreamTuple(ts=0.5, key="only")]
+    for tuples in ([], solo):
+        info = BatchInfo(index=0, t_start=0.0, t_end=1.0)
+        oracle_batch = oracle.partition(tuples, 3, info)
+        kernel_batch = kernel.partition(tuples, 3, info)
+        assert _snapshot(oracle, oracle_batch) == _snapshot(kernel, kernel_batch)
+        oracle.reset()
+        kernel.reset()
+
+
+def test_simulator_variants_agree():
+    """Dense reference vs event-jumping vs vectorized-scan recurrences.
+
+    Random per-key chains (including lengths past the vectorization
+    threshold) with random global-index interleavings, budgets and
+    trigger seeds: all three implementations must return the identical
+    (tracked count, tree updates) pair.
+    """
+    rng = random.Random(77)
+    lengths = [1, 2, 3, 7, 50, 400] + [kernels._LONG_CHAIN_THRESHOLD + 13]
+    cases = 0
+    for m in lengths:
+        for trial in range(40 if m < 1000 else 6):
+            t_end = rng.uniform(0.5, 2.0)
+            ts = sorted(rng.uniform(0.0, t_end) for _ in range(m))
+            if m >= 3 and trial % 5 == 0:
+                ts[1] = ts[0]  # duplicate arrival times
+            # strictly increasing global indexes simulate interleaving
+            G = []
+            g = 0
+            for _ in range(m):
+                g += rng.randint(1, 4)
+                G.append(g - 1)
+            T = np.asarray(ts, dtype=np.float64)
+            G_arr = np.asarray(G, dtype=np.int64)
+            chain = [StreamTuple(ts=t, key="k") for t in ts]
+            budget = rng.randint(1, 40)
+            est = rng.randint(1, 5000)
+            f0 = rng.randint(1, 10)
+            dense = kernels._simulate_key_dense(T, G_arr, budget, est, f0, t_end)
+            if m == 1:
+                jump = (1, 0)
+                jump_arr = (1, 0)
+            else:
+                jump = kernels._simulate_key_jump(
+                    chain, G_arr, 0, m, budget, est, f0, t_end
+                )
+                jump_arr = kernels._simulate_key_jump_arr(
+                    T, G_arr, 0, m, budget, est, f0, t_end
+                )
+            assert dense == jump == jump_arr, (m, trial, budget, est, f0)
+            cases += 1
+    assert cases > 200
