@@ -40,6 +40,7 @@ def test_payload_overhead(benchmark, record_experiment):
         "BENCH_payload_overhead",
         format_table(rows, title="Driver->worker payload bytes per task"),
         rows,
+        store=dict(backend="parallel", partitioner="prompt"),
     )
     assert len(rows) == 2
     for row in rows:

@@ -47,6 +47,7 @@ def test_pipeline_overlap(benchmark, record_experiment):
         + "\n"
         + format_table([ingest], title="Ingest fast path: ns per tuple"),
         {"overlap": rows, "ingest": ingest},
+        store=dict(backend="parallel", partitioner="prompt"),
     )
     assert len(rows) == 2
     for row in rows:

@@ -47,6 +47,7 @@ def test_vectorized_ingest(benchmark, record_experiment):
         + "\n\n"
         + format_table([gate], title="Gate: geomean >= 3x, per-row floor 2x"),
         payload,
+        store=dict(ingest_kernel="numpy"),
     )
 
     # Coverage: every default scenario ran and proved identity.

@@ -1,0 +1,223 @@
+"""Noise-band regression tracking over the persistent results store.
+
+For every ``(cell, metric)`` trajectory in
+``benchmarks/results/results.db`` the current value (latest row at the
+current git SHA) is compared against a *noise band* computed from the
+prior same-hash rows of the same environment:
+
+    band = median(prior) ± max(k·IQR(prior), rel_floor·|median|, abs_floor)
+
+IQR is the robust spread (75th − 25th percentile), so one historical
+outlier cannot widen the band forever; the relative floor keeps
+deterministic metrics (IQR = 0) from flagging on harmless jitter.
+
+A value *outside* the band is a **departure**.  Whether a departure is
+a *regression* depends on the metric's polarity — latency up is bad,
+throughput up is good — resolved by name heuristics
+(:func:`metric_direction`).  Departures of unknown polarity are
+reported as drift but do not gate, so an artifact adding a new column
+can never fail CI by itself.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from statistics import median
+from typing import Any, Iterable, Sequence
+
+from ..engine.stats import percentile
+from .store import ResultsStore, current_git_sha, environment_hash
+
+__all__ = [
+    "NoiseBand",
+    "RegressionFinding",
+    "find_regressions",
+    "metric_direction",
+    "noise_band",
+]
+
+log = logging.getLogger(__name__)
+
+#: substrings marking a metric where *smaller* is better
+_LOWER_IS_BETTER = (
+    "latency",
+    "seconds",
+    "bytes",
+    "overhead",
+    "queue",
+    "wait",
+    "stall",
+    "bsi",
+    "bci",
+    "ksr",
+    "mpi",
+    "fragment",
+    "retries",
+    "fallback",
+    "resurrection",
+    "drop",
+    "miss",
+    "spread",
+    "jointscore",
+)
+
+#: substrings marking a metric where *larger* is better
+_HIGHER_IS_BETTER = (
+    "throughput",
+    "speedup",
+    "tuplespersec",
+    "tuples_per_sec",
+    "persec",
+    "per_sec",
+    "rate",
+    "stable",
+    "win",
+    "reduction",
+    "identical",
+)
+
+
+def metric_direction(name: str) -> int:
+    """Polarity of ``name``: +1 higher-better, -1 lower-better, 0 unknown."""
+    folded = name.lower().replace("-", "").replace(" ", "")
+    for marker in _LOWER_IS_BETTER:
+        if marker in folded:
+            return -1
+    for marker in _HIGHER_IS_BETTER:
+        if marker in folded:
+            return +1
+    return 0
+
+
+@dataclass(frozen=True)
+class NoiseBand:
+    """Per-trajectory tolerance interval from prior same-hash rows."""
+
+    median: float
+    iqr: float
+    lo: float
+    hi: float
+    samples: int
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+
+def noise_band(
+    values: Sequence[float],
+    *,
+    k: float = 3.0,
+    rel_floor: float = 0.05,
+    abs_floor: float = 1e-9,
+) -> NoiseBand:
+    """``median ± max(k·IQR, rel_floor·|median|, abs_floor)`` over history."""
+    if not values:
+        raise ValueError("noise_band needs at least one prior sample")
+    med = median(values)
+    ordered = sorted(values)
+    iqr = percentile(ordered, 75.0) - percentile(ordered, 25.0)
+    slack = max(k * iqr, rel_floor * abs(med), abs_floor)
+    return NoiseBand(
+        median=med, iqr=iqr, lo=med - slack, hi=med + slack, samples=len(values)
+    )
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One trajectory's verdict against its noise band."""
+
+    config_hash: str
+    label: str
+    metric: str
+    value: float
+    band: NoiseBand
+    #: "ok" | "improved" | "drifted" | "regressed"
+    verdict: str
+
+    @property
+    def is_regression(self) -> bool:
+        return self.verdict == "regressed"
+
+    @property
+    def departed(self) -> bool:
+        return self.verdict != "ok"
+
+
+def _classify(value: float, band: NoiseBand, direction: int) -> str:
+    if band.contains(value):
+        return "ok"
+    if direction == 0:
+        return "drifted"
+    harmful_high = direction < 0  # lower-is-better ⇒ above the band is bad
+    if value > band.hi:
+        return "regressed" if harmful_high else "improved"
+    return "improved" if harmful_high else "regressed"
+
+
+def find_regressions(
+    store: ResultsStore,
+    *,
+    git_sha: str | None = None,
+    env_hash: str | None = None,
+    k: float = 3.0,
+    rel_floor: float = 0.05,
+    min_history: int = 3,
+    include_ok: bool = False,
+) -> list[RegressionFinding]:
+    """Judge every current-SHA trajectory point against its history.
+
+    The *current* value of a trajectory is its latest row recorded at
+    ``git_sha`` (default: the repo's HEAD); *history* is every earlier
+    row of the same ``config_hash`` in the same environment but at a
+    different SHA.  Trajectories with fewer than ``min_history`` prior
+    points are skipped — a brand-new cell has no band to leave.
+    """
+    sha = git_sha or current_git_sha()
+    env = env_hash or environment_hash()
+    findings: list[RegressionFinding] = []
+    for series in store.trajectories(env_hash=env):
+        values: list[float] = series["values"]
+        shas: list[str] = series["git_shas"]
+        current = None
+        for value, row_sha in zip(values, shas):
+            if row_sha == sha:
+                current = value  # latest current-SHA row wins
+        if current is None:
+            continue
+        prior = [v for v, s in zip(values, shas) if s != sha]
+        if len(prior) < min_history:
+            continue
+        band = noise_band(prior, k=k, rel_floor=rel_floor)
+        verdict = _classify(current, band, metric_direction(series["metric"]))
+        if verdict == "ok" and not include_ok:
+            continue
+        findings.append(
+            RegressionFinding(
+                config_hash=series["config_hash"],
+                label=series["label"],
+                metric=series["metric"],
+                value=current,
+                band=band,
+                verdict=verdict,
+            )
+        )
+    findings.sort(key=lambda f: (f.verdict != "regressed", f.label, f.metric))
+    return findings
+
+
+def regression_rows(findings: Iterable[RegressionFinding]) -> list[dict[str, Any]]:
+    """Table-ready view of findings for ``format_table``."""
+    return [
+        {
+            "Cell": f.label,
+            "Metric": f.metric,
+            "Value": f.value,
+            "Median": f.band.median,
+            "BandLo": f.band.lo,
+            "BandHi": f.band.hi,
+            "History": f.band.samples,
+            "Verdict": f.verdict,
+        }
+        for f in findings
+    ]

@@ -21,6 +21,8 @@ def _fmt(value: Any) -> str:
             return "nan"
         if value == math.inf:
             return "inf"
+        if value == -math.inf:
+            return "-inf"
         if abs(value) >= 1000:
             return f"{value:,.0f}"
         return f"{value:.3f}"
@@ -36,7 +38,13 @@ def format_table(
     """Render mappings as an aligned monospace table."""
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"
-    cols = list(columns) if columns else list(rows[0].keys())
+    if columns:
+        cols = list(columns)
+    else:
+        # ordered union of every row's keys: heterogeneous rows (e.g. a
+        # gate row joining measurement rows) must not silently drop
+        # whatever the first row happened to lack
+        cols = list(dict.fromkeys(key for row in rows for key in row))
     rendered = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
     widths = [
         max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)

@@ -1,0 +1,180 @@
+"""Noise-band regression tracking over the results store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.matrix import TINY_GRID, fill
+from repro.bench.regress import (
+    find_regressions,
+    metric_direction,
+    noise_band,
+    regression_rows,
+)
+from repro.bench.store import ResultsStore, environment_hash
+
+ENV = {"cpu_count": 4, "python": "3.11", "numpy": False}
+EHASH = environment_hash(ENV)
+
+
+# ----------------------------------------------------------------------
+# the band itself
+def test_noise_band_centres_on_median():
+    band = noise_band([1.0, 1.1, 0.9, 1.0])
+    assert band.median == pytest.approx(1.0, abs=0.06)
+    assert band.lo < band.median < band.hi
+    assert band.samples == 4
+
+
+def test_noise_band_rel_floor_covers_deterministic_history():
+    # identical history -> IQR 0; the 5% relative floor still leaves room
+    band = noise_band([2.0, 2.0, 2.0])
+    assert band.iqr == 0.0
+    assert band.contains(2.05)
+    assert not band.contains(2.2)
+
+
+def test_noise_band_outlier_resistant():
+    # one historical spike must not blow the band open (IQR, not range)
+    calm = noise_band([1.0, 1.02, 0.98, 1.01])
+    spiky = noise_band([1.0, 1.02, 0.98, 10.0])
+    assert spiky.hi < 10.0
+    assert calm.hi < spiky.hi * 2 or spiky.hi < 5.0
+
+
+def test_noise_band_empty_raises():
+    with pytest.raises(ValueError):
+        noise_band([])
+
+
+# ----------------------------------------------------------------------
+# polarity heuristics
+def test_metric_direction_polarities():
+    assert metric_direction("latency_p95_seconds") == -1
+    assert metric_direction("LatencyP95") == -1
+    assert metric_direction("MaxQueueDelay") == -1
+    assert metric_direction("throughput_tuples_per_sec") == +1
+    assert metric_direction("Speedup") == +1
+    assert metric_direction("stable") == +1
+    assert metric_direction("SomethingOdd") == 0
+
+
+# ----------------------------------------------------------------------
+# find_regressions over a store
+def _seed_history(store, values, metric="latency_mean_seconds"):
+    """One fill per historical SHA with the given metric values."""
+    for i, value in enumerate(values):
+        fill(
+            store, TINY_GRID, git_sha=f"hist-{i}", env=ENV,
+            runner=lambda c, g, v=value: ({metric: v}, {}),
+        )
+
+
+def test_injected_slowdown_is_flagged(tmp_path):
+    with ResultsStore(tmp_path / "r.db") as store:
+        _seed_history(store, [1.0, 1.02, 0.98, 1.01])
+        # the "current PR" is 2x slower: far outside the band
+        fill(store, TINY_GRID, git_sha="head", env=ENV,
+             runner=lambda c, g: ({"latency_mean_seconds": 2.0}, {}))
+        findings = find_regressions(store, git_sha="head", env_hash=EHASH)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.verdict == "regressed"
+        assert f.is_regression
+        assert f.value == 2.0
+        assert not f.band.contains(2.0)
+        rows = regression_rows(findings)
+        assert rows[0]["Verdict"] == "regressed"
+
+
+def test_unchanged_rerun_stays_green(tmp_path):
+    with ResultsStore(tmp_path / "r.db") as store:
+        _seed_history(store, [1.0, 1.02, 0.98, 1.01])
+        fill(store, TINY_GRID, git_sha="head", env=ENV,
+             runner=lambda c, g: ({"latency_mean_seconds": 1.0}, {}))
+        assert find_regressions(store, git_sha="head", env_hash=EHASH) == []
+
+
+def test_improvement_is_not_a_regression(tmp_path):
+    with ResultsStore(tmp_path / "r.db") as store:
+        _seed_history(store, [1.0, 1.02, 0.98, 1.01])
+        fill(store, TINY_GRID, git_sha="head", env=ENV,
+             runner=lambda c, g: ({"latency_mean_seconds": 0.3}, {}))
+        findings = find_regressions(store, git_sha="head", env_hash=EHASH)
+        assert [f.verdict for f in findings] == ["improved"]
+
+
+def test_higher_is_better_polarity_flips_verdict(tmp_path):
+    with ResultsStore(tmp_path / "r.db") as store:
+        metric = "throughput_tuples_per_sec"
+        _seed_history(store, [100.0, 101.0, 99.0, 100.0], metric=metric)
+        fill(store, TINY_GRID, git_sha="head", env=ENV,
+             runner=lambda c, g: ({metric: 40.0}, {}))
+        findings = find_regressions(store, git_sha="head", env_hash=EHASH)
+        assert [f.verdict for f in findings] == ["regressed"]
+
+
+def test_unknown_polarity_departure_drifts_not_gates(tmp_path):
+    with ResultsStore(tmp_path / "r.db") as store:
+        metric = "SomethingOdd"
+        _seed_history(store, [1.0, 1.0, 1.0, 1.0], metric=metric)
+        fill(store, TINY_GRID, git_sha="head", env=ENV,
+             runner=lambda c, g: ({metric: 5.0}, {}))
+        findings = find_regressions(store, git_sha="head", env_hash=EHASH)
+        assert [f.verdict for f in findings] == ["drifted"]
+        assert not any(f.is_regression for f in findings)
+
+
+def test_min_history_skips_young_trajectories(tmp_path):
+    with ResultsStore(tmp_path / "r.db") as store:
+        _seed_history(store, [1.0, 1.0])  # only 2 prior points
+        fill(store, TINY_GRID, git_sha="head", env=ENV,
+             runner=lambda c, g: ({"latency_mean_seconds": 99.0}, {}))
+        assert find_regressions(
+            store, git_sha="head", env_hash=EHASH, min_history=3
+        ) == []
+        # ...but lowering the bar surfaces it
+        assert find_regressions(
+            store, git_sha="head", env_hash=EHASH, min_history=2
+        )
+
+
+def test_other_environments_do_not_pollute_history(tmp_path):
+    other = {"cpu_count": 64, "python": "3.12", "numpy": True}
+    with ResultsStore(tmp_path / "r.db") as store:
+        _seed_history(store, [1.0, 1.0, 1.0, 1.0])
+        # a much slower machine's history would widen the band — it must
+        # be ignored when judging ENV's trajectory
+        for i in range(4):
+            fill(store, TINY_GRID, git_sha=f"other-{i}", env=other,
+                 runner=lambda c, g: ({"latency_mean_seconds": 30.0}, {}))
+        fill(store, TINY_GRID, git_sha="head", env=ENV,
+             runner=lambda c, g: ({"latency_mean_seconds": 2.0}, {}))
+        findings = find_regressions(store, git_sha="head", env_hash=EHASH)
+        assert [f.verdict for f in findings] == ["regressed"]
+
+
+def test_include_ok_reports_every_judged_trajectory(tmp_path):
+    with ResultsStore(tmp_path / "r.db") as store:
+        _seed_history(store, [1.0, 1.0, 1.0, 1.0])
+        fill(store, TINY_GRID, git_sha="head", env=ENV,
+             runner=lambda c, g: ({"latency_mean_seconds": 1.0}, {}))
+        findings = find_regressions(
+            store, git_sha="head", env_hash=EHASH, include_ok=True
+        )
+        assert [f.verdict for f in findings] == ["ok"]
+
+
+def test_regressions_sort_first(tmp_path):
+    with ResultsStore(tmp_path / "r.db") as store:
+        for i in range(4):
+            fill(store, TINY_GRID, git_sha=f"hist-{i}", env=ENV,
+                 runner=lambda c, g: (
+                     {"latency_mean_seconds": 1.0, "SomethingOdd": 1.0}, {}
+                 ))
+        fill(store, TINY_GRID, git_sha="head", env=ENV,
+             runner=lambda c, g: (
+                 {"latency_mean_seconds": 9.0, "SomethingOdd": 9.0}, {}
+             ))
+        findings = find_regressions(store, git_sha="head", env_hash=EHASH)
+        assert [f.verdict for f in findings] == ["regressed", "drifted"]

@@ -32,6 +32,24 @@ def test_sparkline_clamps_outliers():
     assert line == "█▁"
 
 
+def test_sparkline_single_value_uses_own_range():
+    # one sample has zero span -> middle bar, not a crash
+    assert sparkline([7.3]) == "▄"
+
+
+def test_sparkline_pinned_scale_overrides_data_range():
+    # same data, different pins -> different bars
+    wide = sparkline([1.0, 2.0], lo=0.0, hi=10.0)
+    tight = sparkline([1.0, 2.0], lo=1.0, hi=2.0)
+    assert wide == "▁▂"
+    assert tight == "▁█"
+
+
+def test_sparkline_pinned_inverted_range_is_flat():
+    # lo > hi is a degenerate pin: span <= 0 renders flat
+    assert sparkline([1.0, 5.0], lo=10.0, hi=0.0) == "▄▄"
+
+
 def _run(**kw):
     config = EngineConfig(
         batch_interval=0.5,
@@ -86,6 +104,16 @@ def test_render_includes_recoveries():
     source = synd_source(0.8, num_keys=100, arrival=ConstantRate(500.0), seed=3)
     text = render_run(engine.run(source, 4))
     assert "recoveries:     1 (1 matched" in text
+
+
+def test_render_no_batches():
+    result = _run(track_outputs=False)
+    result.stats.records.clear()
+    text = render_run(result, title="empty")
+    assert "(no batches executed)" in text
+    # none of the per-batch sections should render
+    assert "latency:" not in text
+    assert "load W:" not in text
 
 
 def test_render_reports_instability():

@@ -36,6 +36,25 @@ def test_format_table_handles_inf_and_nan():
     assert "nan" in text
 
 
+def test_format_table_renders_negative_inf():
+    text = format_table([{"v": float("-inf")}])
+    assert "-inf" in text
+
+
+def test_format_table_heterogeneous_rows_union_columns():
+    # Later rows may introduce keys the first row lacks: the header must
+    # be the ordered union, and missing cells render blank.
+    rows = [
+        {"a": 1, "b": 2},
+        {"a": 3, "c": 4},
+    ]
+    text = format_table(rows)
+    header = text.splitlines()[0]
+    assert header.split() == ["a", "b", "c"]
+    # row 1 has no "c", row 2 has no "b": both render without raising
+    assert "1" in text and "4" in text
+
+
 def test_format_series():
     text = format_series([(1, 2.0), (2, 4.0)], headers=["batch", "value"])
     assert "batch" in text

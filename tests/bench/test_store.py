@@ -1,0 +1,209 @@
+"""Persistent results store: hashing, recording, artifact backfill."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.store import (
+    CellResult,
+    GRID_AXES,
+    ResultsStore,
+    artifact_cells,
+    config_hash,
+    current_git_sha,
+    environment_fingerprint,
+    environment_hash,
+    ingest_artifact,
+)
+
+
+# ----------------------------------------------------------------------
+# identity
+def test_config_hash_is_order_independent():
+    a = config_hash({"workload": "tweets", "partitioner": "prompt"})
+    b = config_hash({"partitioner": "prompt", "workload": "tweets"})
+    assert a == b
+    assert len(a) == 16
+
+
+def test_config_hash_normalizes_types():
+    # int/float and None/"" must hash identically: a SQLite round-trip
+    # or a JSON reload must not invalidate the cell
+    assert config_hash({"d": 2}) == config_hash({"d": 2.0})
+    assert config_hash({"x": None}) == config_hash({"x": ""})
+
+
+def test_config_hash_distinguishes_params():
+    assert config_hash({"d": 1}) != config_hash({"d": 2})
+
+
+def test_environment_fingerprint_fields():
+    env = environment_fingerprint()
+    assert set(env) == {
+        "cpu_count", "python", "implementation", "platform", "numpy", "numba",
+    }
+    assert env["cpu_count"] >= 1
+    assert environment_hash(env) == environment_hash(env)
+
+
+def test_current_git_sha_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_GIT_SHA", "cafe0123")
+    assert current_git_sha() == "cafe0123"
+
+
+def test_current_git_sha_from_repo(monkeypatch):
+    monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+    sha = current_git_sha()
+    # this repo IS a git checkout, so a real 40-char SHA comes back
+    assert sha == "unknown" or len(sha) == 40
+
+
+# ----------------------------------------------------------------------
+# store round-trip
+def _cell(**over):
+    base = dict(
+        params={"workload": "tweets", "partitioner": "prompt",
+                "backend": "serial", "pipeline_depth": 1},
+        metrics={"latency_mean_seconds": 0.5, "stable": True},
+        obs={"engine.batches_total": 4},
+        git_sha="sha-1",
+        env={"cpu_count": 4, "python": "3.11", "numpy": False},
+    )
+    base.update(over)
+    return CellResult(**base)
+
+
+def test_record_and_read_back(tmp_path):
+    with ResultsStore(tmp_path / "r.db") as store:
+        cell_id = store.record(_cell())
+        assert store.cell_count() == 1
+        row = store.cells()[0]
+        assert row["id"] == cell_id
+        assert row["git_sha"] == "sha-1"
+        assert row["params"]["workload"] == "tweets"
+        assert row["obs"] == {"engine.batches_total": 4}
+        metrics = store.metrics_for(cell_id)
+        assert metrics["latency_mean_seconds"] == 0.5
+        assert metrics["stable"] == 1.0  # bools become 0/1 trajectories
+
+
+def test_record_drops_nan_metrics(tmp_path):
+    with ResultsStore(tmp_path / "r.db") as store:
+        cid = store.record(_cell(metrics={"good": 1.0, "bad": float("nan")}))
+        assert store.metrics_for(cid) == {"good": 1.0}
+
+
+def test_completed_hashes_keyed_by_sha_and_env(tmp_path):
+    with ResultsStore(tmp_path / "r.db") as store:
+        cell = _cell()
+        store.record(cell)
+        chash = cell.config_hash
+        ehash = environment_hash(cell.env)
+        assert store.completed_hashes(git_sha="sha-1", env_hash=ehash) == {chash}
+        # a new SHA invalidates: nothing complete there yet
+        assert store.completed_hashes(git_sha="sha-2", env_hash=ehash) == set()
+        # so does a new environment
+        assert store.completed_hashes(git_sha="sha-1", env_hash="feed") == set()
+
+
+def test_history_and_git_shas_in_insert_order(tmp_path):
+    with ResultsStore(tmp_path / "r.db") as store:
+        cell = _cell()
+        for i, sha in enumerate(["sha-1", "sha-2", "sha-3"]):
+            store.record(
+                _cell(git_sha=sha, metrics={"lat": float(i)}), created_at=100.0 + i
+            )
+        hist = store.history(cell.config_hash, "lat")
+        assert [h["git_sha"] for h in hist] == ["sha-1", "sha-2", "sha-3"]
+        assert [h["value"] for h in hist] == [0.0, 1.0, 2.0]
+        assert store.git_shas() == ["sha-1", "sha-2", "sha-3"]
+
+
+def test_history_filters_by_env(tmp_path):
+    with ResultsStore(tmp_path / "r.db") as store:
+        cell = _cell()
+        other_env = {"cpu_count": 64, "python": "3.12", "numpy": True}
+        store.record(_cell(metrics={"lat": 1.0}))
+        store.record(_cell(metrics={"lat": 9.0}, env=other_env))
+        here = store.history(cell.config_hash, "lat",
+                             env_hash=environment_hash(cell.env))
+        assert [h["value"] for h in here] == [1.0]
+
+
+def test_default_label_joins_grid_axes():
+    cell = _cell(params={axis: axis[:2] for axis in GRID_AXES})
+    assert cell.default_label() == "wo/pa/ba/in/pi/fa"
+    anon = _cell(params={"alpha": 1.5})
+    assert anon.default_label() == anon.config_hash
+
+
+# ----------------------------------------------------------------------
+# artifact backfill
+def test_artifact_cells_rows_list():
+    payload = [
+        {"Technique": "prompt", "Throughput": 100.0, "Stable": True},
+        {"Technique": "hash", "Throughput": 60.0, "Stable": True},
+    ]
+    cells = artifact_cells("BENCH_x", payload)
+    assert len(cells) == 2
+    first = cells[0]
+    assert first.params["Technique"] == "prompt"
+    # the well-known alias also fills the canonical axis
+    assert first.params["partitioner"] == "prompt"
+    assert first.params["artifact"] == "BENCH_x"
+    assert first.metrics["Throughput"] == 100.0
+    assert first.metrics["Stable"] == 1.0
+    assert first.source == "artifact:BENCH_x"
+
+
+def test_artifact_cells_nested_sections():
+    payload = {
+        "gate": {"GeomeanSpeedup": 3.4},
+        "rows": [{"Row": "a", "Speedup": 3.0}, {"Row": "b", "Speedup": 4.0}],
+    }
+    cells = artifact_cells("BENCH_y", payload)
+    sections = sorted(c.params.get("section", "") for c in cells)
+    assert sections == ["gate", "rows", "rows"]
+
+
+def test_artifact_cells_mixed_mapping_keeps_scalar_slice():
+    payload = {"total_runtime": 12.5, "rows": [{"Metric": "x", "V": 1.0}]}
+    cells = artifact_cells("BENCH_z", payload)
+    assert any(c.metrics.get("total_runtime") == 12.5 for c in cells)
+
+
+def test_artifact_cells_extra_params_join_identity():
+    cells = artifact_cells(
+        "BENCH_w", [{"V": 1.0}], extra_params={"workload": "tweets"}
+    )
+    assert cells[0].params["workload"] == "tweets"
+    # identity differs from the same artifact without the extra params
+    other = artifact_cells("BENCH_w", [{"V": 1.0}])
+    assert cells[0].config_hash != other[0].config_hash
+
+
+def test_artifact_cells_skips_metricless_rows():
+    assert artifact_cells("BENCH_n", [{"Name": "only", "Kind": "strings"}]) == []
+
+
+def test_ingest_artifact_file(tmp_path):
+    path = tmp_path / "BENCH_demo.json"
+    path.write_text(json.dumps([{"Technique": "prompt", "Latency": 0.2}]))
+    with ResultsStore(tmp_path / "r.db") as store:
+        count = ingest_artifact(store, path, git_sha="sha-a")
+        assert count == 1
+        row = store.cells()[0]
+        assert row["git_sha"] == "sha-a"
+        assert row["source"] == "artifact:BENCH_demo"
+        assert row["params"]["artifact"] == "BENCH_demo"
+
+
+def test_ingest_artifact_rejects_malformed_json(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with ResultsStore(tmp_path / "r.db") as store:
+        with pytest.raises(json.JSONDecodeError):
+            ingest_artifact(store, path)
+        assert store.cell_count() == 0
