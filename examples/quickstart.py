@@ -5,7 +5,9 @@ Streams a synthetic tweet-word workload through the simulated engine
 under Prompt's partitioning scheme for a dozen one-second batches via
 the one-shot :func:`repro.run` entry point, then prints per-batch
 execution records plus the final sliding window's hottest words — the
-smallest end-to-end tour of the library.
+smallest end-to-end tour of the library.  A second act fans a
+multi-tenant stream across two engines with the v1 ``topology=``
+argument and shows the per-shard spread.
 
 Run:  python examples/quickstart.py
 """
@@ -15,24 +17,25 @@ from __future__ import annotations
 import repro
 from repro.bench import render_run
 from repro.queries import select_top_k, wordcount_query
-from repro.workloads import tweets_source
+from repro.workloads import MultiTenantSource, TenantStream, tweets_source
 
 
 def main() -> None:
     # One call: a 5,000 words/second tweet stream, a 10-second sliding
     # WordCount window, Prompt partitioning, 12 one-second batches on
-    # the default simulated 4-node x 4-core cluster.  Extra keywords
-    # (batch_interval, num_blocks, num_reducers here) become
-    # EngineConfig fields — executor="parallel" would fan the tasks
-    # out over a process pool with bit-identical results.
+    # the default simulated 4-node x 4-core cluster.  Engine knobs
+    # travel as a typed EngineConfig — executor="parallel" would fan
+    # the tasks out over a process pool with bit-identical results.
     result = repro.run(
         tweets_source(rate=5_000.0, seed=42),
         wordcount_query(window_length=10.0),
         partitioner="prompt",
         num_batches=12,
-        batch_interval=1.0,
-        num_blocks=8,
-        num_reducers=8,
+        engine=repro.EngineConfig(
+            batch_interval=1.0,
+            num_blocks=8,
+            num_reducers=8,
+        ),
     )
 
     print("batch  tuples  keys   processing  load(W)  latency")
@@ -52,6 +55,38 @@ def main() -> None:
 
     print()
     print(render_run(result, title="run report"))
+
+    # Act two: the same entry point, sharded.  Three tenant streams
+    # become one tagged union; topology=Sharded(...) routes each tenant
+    # to one of two independent engines and merges the window answers
+    # in deterministic (tenant, key) order — byte-identical to running
+    # every tenant on its own engine.
+    union = MultiTenantSource(
+        [
+            TenantStream(name, tweets_source(rate=1_500.0, seed=seed))
+            for name, seed in (("news", 1), ("finance", 2), ("games", 3))
+        ]
+    )
+    sharded = repro.run(
+        union,
+        wordcount_query(window_length=4.0),
+        num_batches=6,
+        topology=repro.Sharded(shards=2, router="consistent-hash"),
+        engine=repro.EngineConfig(batch_interval=1.0, num_blocks=4),
+    )
+    print("sharded topology: 2 engines behind the consistent-hash router")
+    for shard, shard_result in enumerate(sharded.shard_results):
+        tenants = sorted(
+            t for t, owners in sharded.tenant_shards.items() if shard in owners
+        )
+        print(
+            f"  shard {shard}: tenants={', '.join(tenants) or '-'}  "
+            f"tuples={shard_result.stats.total_tuples:,}  "
+            f"stable={shard_result.stable}"
+        )
+    print(f"aggregate throughput: {sharded.throughput():,.0f} tuples/s")
+    news = sharded.tenant_answers("news")[-1]
+    print("top news words:", select_top_k(news, 3))
 
 
 if __name__ == "__main__":

@@ -10,9 +10,12 @@ Public API layout:
 - :mod:`repro.partitioners` — Prompt plus every baseline technique
   (time-based, shuffle, hashing, PK2/PK5, cAM).
 - :mod:`repro.engine` — the simulated micro-batch engine substrate
-  (receiver, scheduler, tasks, windows, state, faults, back-pressure).
+  (receiver, scheduler, tasks, windows, state, faults, back-pressure)
+  and the sharded multi-engine topology
+  (:mod:`repro.engine.sharding`: router, driver, merge, shard faults).
 - :mod:`repro.queries` — the Section 7.1 benchmark queries.
-- :mod:`repro.workloads` — dataset generators and arrival processes.
+- :mod:`repro.workloads` — dataset generators, arrival processes, and
+  the multi-tenant stream wrappers.
 - :mod:`repro.bench` — the experiment harness regenerating every table
   and figure of the evaluation.
 - :mod:`repro.obs` — optional zero-dependency observability: span
@@ -33,18 +36,28 @@ Quickstart::
     )
     print(result.stats.throughput(), result.stats.mean_latency())
 
-The explicit form — build a partitioner, a query, and an
-:class:`EngineConfig`, then drive a :class:`MicroBatchEngine` — remains
-available for anything the one-shot entry cannot express (failure
-injection, partitioner reuse, sweeps).
+Scale out by handing the same call a run shape::
 
-The names exported here — ``__all__`` below — are the frozen v0 public
+    result = repro.run(
+        union,  # a MultiTenantSource over per-tenant streams
+        wordcount_query(window_length=10.0),
+        topology=repro.Sharded(shards=4, router="consistent-hash"),
+    )
+
+The explicit forms — :class:`RunSpec`, or building a partitioner, a
+query, and an :class:`EngineConfig` around a :class:`MicroBatchEngine`
+/ :class:`ShardedEngine` — remain available for anything the one-shot
+entry cannot express (failure injection, partitioner reuse, sweeps).
+
+The names exported here — ``__all__`` below — are the frozen v1 public
 surface; ``docs/api.md`` documents each one and a doc-sync test keeps
 the two lists identical.  Symbols deeper in subpackages remain
-importable but carry no stability promise.
+importable but carry no stability promise.  v0 call forms
+(``repro.run(..., executor="parallel")`` with loose engine kwargs) keep
+working behind a one-shot deprecation warning.
 """
 
-from .api import run
+from .api import RunSpec, Sharded, SingleEngine, Topology, run
 from .core import (
     AccumulatorConfig,
     AutoScaler,
@@ -60,12 +73,23 @@ from .core import (
     StreamTuple,
     evaluate_partition,
 )
-from .engine import EngineConfig, ExecutorKind, MicroBatchEngine, RunResult
+from .engine import (
+    EngineConfig,
+    ExecutorKind,
+    MicroBatchEngine,
+    Rebalance,
+    RunResult,
+    ShardRouter,
+    ShardedEngine,
+    ShardedRunResult,
+    make_router,
+)
 from .obs import ObservabilityConfig, RunObservability
 from .partitioners import make_partitioner
 from .queries import Query, WindowSpec
+from .workloads import MultiTenantSource, TenantStream
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccumulatorConfig",
@@ -78,18 +102,29 @@ __all__ = [
     "MPIWeights",
     "MicroBatchAccumulator",
     "MicroBatchEngine",
+    "MultiTenantSource",
     "ObservabilityConfig",
     "PartitionedBatch",
     "PromptBatchPartitioner",
     "PromptConfig",
     "Query",
+    "Rebalance",
     "ReduceBucketAllocator",
     "RunObservability",
     "RunResult",
+    "RunSpec",
+    "ShardRouter",
+    "Sharded",
+    "ShardedEngine",
+    "ShardedRunResult",
+    "SingleEngine",
     "StreamTuple",
+    "TenantStream",
+    "Topology",
     "WindowSpec",
     "__version__",
     "evaluate_partition",
     "make_partitioner",
+    "make_router",
     "run",
 ]

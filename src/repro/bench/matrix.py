@@ -96,9 +96,11 @@ class MatrixCell:
     ingest_kernel: str = "default"
     pipeline_depth: int = 1
     fault_profile: str = "none"
+    #: 0 = single engine; N >= 1 = sharded topology with N engines
+    shards: int = 0
 
     def params(self) -> dict[str, Any]:
-        return {
+        out = {
             "workload": self.workload,
             "partitioner": self.partitioner,
             "backend": self.backend,
@@ -106,16 +108,23 @@ class MatrixCell:
             "pipeline_depth": self.pipeline_depth,
             "fault_profile": self.fault_profile,
         }
+        # the shards axis postdates the store's first trajectories;
+        # omitting it at 0 keeps every legacy cell's config hash (and
+        # therefore its cross-PR history) intact
+        if self.shards:
+            out["shards"] = self.shards
+        return out
 
     @property
     def config_hash(self) -> str:
         return config_hash(self.params())
 
     def label(self) -> str:
-        return (
+        base = (
             f"{self.workload}/{self.partitioner}/{self.backend}/"
             f"{self.ingest_kernel}/d{self.pipeline_depth}/{self.fault_profile}"
         )
+        return f"{base}/s{self.shards}" if self.shards else base
 
 
 @dataclass(frozen=True)
@@ -129,6 +138,8 @@ class ExperimentGrid:
     ingest_kernels: tuple[str, ...] = ("default",)
     pipeline_depths: tuple[int, ...] = (1,)
     fault_profiles: tuple[str, ...] = ("none",)
+    #: 0 = single engine; N >= 1 adds a sharded-topology cell at N
+    shard_counts: tuple[int, ...] = (0,)
     #: offered rate / batches / key universe for every cell run
     rate: float = 2_000.0
     num_batches: int = 4
@@ -138,7 +149,9 @@ class ExperimentGrid:
     def cells(self) -> list[MatrixCell]:
         """The coherent cross-product (fault injection needs the
         parallel backend's retry machinery, so faulted serial cells are
-        pruned rather than recorded as trivially identical runs)."""
+        pruned rather than recorded as trivially identical runs;
+        sharded cells stay on the serial depth-1 clean path — the
+        topology's own axes, not the executor's, are what they track)."""
         out = []
         for combo in product(
             self.workloads,
@@ -147,9 +160,16 @@ class ExperimentGrid:
             self.ingest_kernels,
             self.pipeline_depths,
             self.fault_profiles,
+            self.shard_counts,
         ):
             cell = MatrixCell(*combo)
             if cell.fault_profile != "none" and cell.backend != "parallel":
+                continue
+            if cell.shards and (
+                cell.backend != "serial"
+                or cell.pipeline_depth != 1
+                or cell.fault_profile != "none"
+            ):
                 continue
             out.append(cell)
         return out
@@ -174,6 +194,7 @@ QUICK_GRID = ExperimentGrid(
     workloads=("synd-z1.4", "tweets"),
     partitioners=("hash", "prompt"),
     pipeline_depths=(1, 2),
+    shard_counts=(0, 2),
     rate=2_000.0,
     num_batches=4,
     num_keys=1_000,
@@ -187,6 +208,7 @@ FULL_GRID = ExperimentGrid(
     backends=("serial", "parallel"),
     pipeline_depths=(1, 2),
     fault_profiles=("none", "map-crash"),
+    shard_counts=(0, 2, 4),
     rate=3_000.0,
     num_batches=5,
     num_keys=2_000,
@@ -210,6 +232,8 @@ def run_cell(
     flagged latency cell (retry spike? resurrection? stall?) instead of
     merely pointing at it.
     """
+    if cell.shards:
+        return _run_sharded_cell(cell, grid)
     injector = FAULT_PROFILES[cell.fault_profile]()
     config = EngineConfig(
         batch_interval=0.5,
@@ -247,6 +271,67 @@ def run_cell(
         "stable": 1.0 if result.stable else 0.0,
         "task_retries": float(result.executor_task_retries),
         "executor_fallbacks": float(result.executor_fallbacks),
+    }
+    obs = result.observability.metrics.as_dict() if result.observability else {}
+    return metrics, obs
+
+
+def _run_sharded_cell(
+    cell: MatrixCell, grid: ExperimentGrid
+) -> tuple[dict[str, float], dict[str, Any]]:
+    """A sharded-topology cell: the cell workload becomes a 2-tenant
+    union (seed-offset copies, each at half the offered rate) fanned
+    over ``cell.shards`` engines.  Metric names match the single-engine
+    path so shard trajectories render in the same report columns;
+    per-shard values fold the way the semantics demand (throughput and
+    retries sum, latency and queue delay take the worst shard)."""
+    from ..engine.sharding import ShardedEngine
+    from ..workloads.tenants import MultiTenantSource, TenantStream
+
+    make = MATRIX_WORKLOADS[cell.workload]
+    union = MultiTenantSource(
+        [
+            TenantStream(
+                f"tenant-{i}",
+                make(grid.rate / 2, grid.num_keys, grid.seed + i),
+            )
+            for i in range(2)
+        ]
+    )
+    config = EngineConfig(
+        batch_interval=0.5,
+        num_blocks=4,
+        num_reducers=4,
+        ingest_kernel=None if cell.ingest_kernel == "default" else cell.ingest_kernel,
+        observability=ObservabilityConfig(enabled=True),
+    )
+    engine = ShardedEngine(
+        cell.partitioner,
+        wordcount_query(window_length=2.0),
+        config,
+        num_shards=cell.shards,
+    )
+    started = perf_counter()
+    result = engine.run(union, num_batches=grid.num_batches)
+    wall = perf_counter() - started
+    shard_stats = [r.stats for r in result.shard_results]
+    metrics = {
+        "wall_seconds": wall,
+        "throughput_tuples_per_sec": result.throughput(),
+        "latency_mean_seconds": max(s.mean_latency() for s in shard_stats),
+        "latency_p95_seconds": max(s.p95_latency() for s in shard_stats),
+        "load_mean": result.mean_load(),
+        "queue_delay_max_seconds": max(
+            s.max_queue_delay() for s in shard_stats
+        ),
+        "total_tuples": float(result.total_tuples()),
+        "stable": 1.0 if result.stable else 0.0,
+        "task_retries": float(
+            sum(r.executor_task_retries for r in result.shard_results)
+        ),
+        "executor_fallbacks": float(
+            sum(r.executor_fallbacks for r in result.shard_results)
+        ),
     }
     obs = result.observability.metrics.as_dict() if result.observability else {}
     return metrics, obs

@@ -1,0 +1,185 @@
+"""Sharded-topology scale-out benchmark.
+
+Weak-scaling sweep over the shard axis: each row offers ``N`` shards a
+multi-tenant SynD union whose aggregate rate grows ∝ ``N`` (per-tenant
+rate × N), so a topology that actually spreads work keeps every shard
+at the 1-shard baseline load while the fleet's aggregate throughput
+grows ~linearly.  All timing is the engine's simulated clock — the
+sweep measures the *model's* scale-out behaviour, which is the claim
+the sharded topology makes, not host parallelism.
+
+The numbers are worthless unless the topology is answer-preserving, so
+the bench first replays one fixed-rate union at 1 shard and 2 shards
+and asserts the merged window answers byte-identical (the same
+contract ``tests/engine/test_sharding_equivalence.py`` proves per
+tenant) before any row is timed.
+
+``scaleout_gate`` turns the rows into the CI verdict: every row
+stable, per-shard load flat relative to the 1-shard baseline, and
+aggregate throughput ≥ ``0.8 · N × baseline``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Optional, Sequence
+
+from ..engine.engine import EngineConfig
+from ..engine.sharding import ShardedEngine
+from ..queries import wordcount_query
+from ..workloads.synd import synd_source
+from ..workloads.tenants import MultiTenantSource, TenantStream
+
+__all__ = ["DEFAULT_SHARD_COUNTS", "bench_sharding_scaleout", "scaleout_gate"]
+
+#: the shard axis of the sweep; 1 is the baseline every gate compares to
+DEFAULT_SHARD_COUNTS: tuple[int, ...] = (1, 2, 4)
+
+#: (tenant id, Zipf exponent, per-tenant base rate share, seed)
+_TENANT_SPECS: tuple[tuple[str, float, float, int], ...] = (
+    ("alpha", 1.4, 0.30, 211),
+    ("bravo", 0.8, 0.25, 212),
+    ("charlie", 1.6, 0.25, 213),
+    ("delta", 1.1, 0.20, 214),
+)
+
+
+def _union(total_rate: float, num_keys: int) -> MultiTenantSource:
+    return MultiTenantSource(
+        [
+            TenantStream(
+                name,
+                synd_source(
+                    exponent, num_keys=num_keys, rate=total_rate * share, seed=seed
+                ),
+            )
+            for name, exponent, share, seed in _TENANT_SPECS
+        ]
+    )
+
+
+def _config(batch_interval: float) -> EngineConfig:
+    return EngineConfig(
+        batch_interval=batch_interval, num_blocks=4, num_reducers=4
+    )
+
+
+def _run(
+    shards: int,
+    total_rate: float,
+    *,
+    router: str,
+    partitioner: str,
+    num_batches: int,
+    batch_interval: float,
+    num_keys: int,
+):
+    engine = ShardedEngine(
+        partitioner,
+        wordcount_query(window_length=2 * batch_interval),
+        _config(batch_interval),
+        num_shards=shards,
+        router=router,
+    )
+    return engine.run(_union(total_rate, num_keys), num_batches=num_batches)
+
+
+def bench_sharding_scaleout(
+    *,
+    base_rate: float = 2_000.0,
+    num_batches: int = 8,
+    batch_interval: float = 0.5,
+    num_keys: int = 200,
+    router: str = "hash",
+    partitioner: str = "prompt",
+    shard_counts: Optional[Sequence[int]] = None,
+) -> list[dict[str, Any]]:
+    """Weak-scaling rows over the shard axis, identity-checked first.
+
+    Raises ``AssertionError`` if the 1-vs-2-shard fixed-rate replay is
+    not byte-identical — scale-out numbers for a topology that changes
+    answers would be meaningless.
+    """
+    counts = tuple(shard_counts or DEFAULT_SHARD_COUNTS)
+    if 1 not in counts:
+        counts = (1,) + counts
+
+    # Identity first: same offered stream, 1 shard vs 2 shards.
+    kwargs = dict(
+        router=router,
+        partitioner=partitioner,
+        num_batches=num_batches,
+        batch_interval=batch_interval,
+        num_keys=num_keys,
+    )
+    one = _run(1, base_rate, **kwargs)
+    two = _run(2, base_rate, **kwargs)
+    identical = pickle.dumps(one.window_answers) == pickle.dumps(
+        two.window_answers
+    )
+    assert identical, "sharding changed the merged window answers"
+
+    rows: list[dict[str, Any]] = []
+    for shards in counts:
+        result = _run(shards, base_rate * shards, **kwargs)
+        tuple_shares = [
+            r.stats.total_tuples for r in result.shard_results
+        ]
+        total = sum(tuple_shares) or 1
+        rows.append(
+            {
+                "Shards": shards,
+                "Router": router,
+                "Partitioner": partitioner,
+                "OfferedRate": base_rate * shards,
+                "TotalTuples": result.total_tuples(),
+                "AggThroughput": result.throughput(),
+                "MeanShardLoad": result.mean_load(),
+                "MaxShardShare": max(tuple_shares) / total,
+                "Stable": result.stable,
+                "AnswersIdentical": identical,
+            }
+        )
+    return rows
+
+
+def scaleout_gate(
+    rows: Sequence[dict[str, Any]],
+    *,
+    throughput_floor: float = 0.8,
+    load_band: float = 0.5,
+) -> dict[str, Any]:
+    """CI verdict over the weak-scaling rows.
+
+    - every row stable (processing fits the intervals at every N),
+    - per-shard mean load flat: within ``±load_band`` (relative) of the
+      1-shard baseline — rising load under weak scaling means the
+      router is concentrating tenants instead of spreading them,
+    - aggregate throughput of row N ≥ ``throughput_floor · N ×``
+      baseline — the scale-out headline, with slack for merge overhead
+      and tenant-granular imbalance.
+    """
+    baseline = next(r for r in rows if r["Shards"] == 1)
+    base_tp = float(baseline["AggThroughput"]) or 1.0
+    base_load = float(baseline["MeanShardLoad"]) or 1.0
+
+    worst_speedup_ratio = min(
+        float(r["AggThroughput"]) / (base_tp * r["Shards"]) for r in rows
+    )
+    worst_load_drift = max(
+        abs(float(r["MeanShardLoad"]) - base_load) / base_load for r in rows
+    )
+    all_stable = all(bool(r["Stable"]) for r in rows)
+    identical = all(bool(r["AnswersIdentical"]) for r in rows)
+    return {
+        "AllStable": all_stable,
+        "AnswersIdentical": identical,
+        "WorstSpeedupRatio": worst_speedup_ratio,
+        "WorstLoadDrift": worst_load_drift,
+        "GatePassed": (
+            all_stable
+            and identical
+            and worst_speedup_ratio >= throughput_floor
+            and worst_load_drift <= load_band
+        ),
+    }

@@ -50,7 +50,7 @@ from .simulation import EventLoop
 from .state import StateStore
 from .stats import BatchRecord, RunStats
 from .tasks import BatchExecution, TaskCostModel
-from .topology import Topology
+from .topology import ClusterTopology
 from .windows import WindowedAggregator
 
 log = logging.getLogger(__name__)
@@ -274,7 +274,7 @@ class MicroBatchEngine:
         loop = EventLoop()
         scheduler = PipelineScheduler(loop)
         cluster = Cluster(cfg.cluster)
-        topology = Topology(cfg.cluster) if cfg.use_topology else None
+        topology = ClusterTopology(cfg.cluster) if cfg.use_topology else None
         early = EarlyReleaseController(cfg.early_release)
         lateness = (
             LatenessMonitor(cfg.lateness) if cfg.lateness is not None else None

@@ -131,7 +131,7 @@ from .tasks import (
     run_reduce_task,
     shuffle_map_results,
 )
-from .topology import Topology
+from .topology import ClusterTopology
 
 log = logging.getLogger(__name__)
 
@@ -266,7 +266,7 @@ class ExecutionBackend(abc.ABC):
         partitioner: Partitioner,
         num_reducers: int,
         cost_model: TaskCostModel,
-        topology: Topology | None = None,
+        topology: ClusterTopology | None = None,
     ) -> BatchExecution:
         """Execute one batch's Map -> shuffle -> Reduce computation."""
 
@@ -277,7 +277,7 @@ class ExecutionBackend(abc.ABC):
         partitioner: Partitioner,
         num_reducers: int,
         cost_model: TaskCostModel,
-        topology: Topology | None = None,
+        topology: ClusterTopology | None = None,
         *,
         trace_parent: int | None = None,
     ) -> BatchHandle:
@@ -369,7 +369,7 @@ class SerialExecutor(ExecutionBackend):
         partitioner: Partitioner,
         num_reducers: int,
         cost_model: TaskCostModel,
-        topology: Topology | None = None,
+        topology: ClusterTopology | None = None,
     ) -> BatchExecution:
         return execute_batch_tasks(
             batch,
@@ -827,7 +827,7 @@ class ParallelExecutor(ExecutionBackend):
         partitioner: Partitioner,
         num_reducers: int,
         cost_model: TaskCostModel,
-        topology: Topology | None,
+        topology: ClusterTopology | None,
     ) -> BatchExecution:
         self.fallbacks += 1
         self.last_fallback_reason = f"{type(reason).__name__}: {reason}"
@@ -1102,7 +1102,7 @@ class ParallelExecutor(ExecutionBackend):
         partitioner: Partitioner,
         num_reducers: int,
         cost_model: TaskCostModel,
-        topology: Topology | None = None,
+        topology: ClusterTopology | None = None,
     ) -> BatchExecution:
         if num_reducers < 1:
             raise ValueError(f"num_reducers must be >= 1, got {num_reducers}")
@@ -1229,7 +1229,7 @@ class ParallelExecutor(ExecutionBackend):
         partitioner: Partitioner,
         num_reducers: int,
         cost_model: TaskCostModel,
-        topology: Topology | None = None,
+        topology: ClusterTopology | None = None,
         *,
         trace_parent: int | None = None,
     ) -> BatchHandle:

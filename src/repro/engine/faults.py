@@ -178,11 +178,26 @@ class TaskFaultInjector:
     driver; only the small frozen :class:`TaskFault` records travel.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, shard: Optional[int] = None) -> None:
         self._faults: dict[tuple[int, str, int], TaskFault] = {}
+        #: shard-scoped profile: ``None`` applies everywhere, an int
+        #: confines the whole fault table to that shard of a sharded run
+        #: (single-engine runs ignore the scope entirely)
+        self.shard = shard
 
     def __len__(self) -> int:
         return len(self._faults)
+
+    def for_shard(self, shard: int) -> "TaskFaultInjector":
+        """Scope this injector's faults to one shard of a sharded run."""
+        if shard < 0:
+            raise ValueError(f"shard must be >= 0, got {shard}")
+        self.shard = shard
+        return self
+
+    def applies_to_shard(self, shard: int) -> bool:
+        """Whether this injector's fault table is live on ``shard``."""
+        return self.shard is None or self.shard == shard
 
     @staticmethod
     def _check(kind: str, times: int) -> None:

@@ -1,0 +1,52 @@
+"""Sharded multi-engine topology: one router, N engines, M tenants.
+
+Four pieces:
+
+- :mod:`~repro.engine.sharding.router` — deterministic tenant->shard
+  routing (``hash`` / ``consistent-hash`` / ``key-range``) plus the
+  rebalance-epoch :class:`RoutingTable`;
+- :mod:`~repro.engine.sharding.driver` — :class:`ShardedEngine`, which
+  runs N independent :class:`~repro.engine.engine.MicroBatchEngine`
+  instances over per-shard views of a multi-tenant union stream;
+- :mod:`~repro.engine.sharding.merge` — exact cross-shard window
+  merging in canonical (tenant, key) order;
+- :mod:`~repro.engine.sharding.faults` — shard-scoped fault profiles
+  (kill one shard's pool, leave the rest untouched).
+
+See ``docs/architecture.md`` ("Sharded multi-engine topology") for the
+protocol and ``tests/engine/test_sharding_equivalence.py`` for the
+differential proof.
+"""
+
+from .driver import ShardedEngine, ShardedRunResult, ShardSource
+from .faults import crash_shard, kill_shard
+from .merge import canonical_order, merge_window_answers, tenant_slice
+from .router import (
+    ROUTER_NAMES,
+    ConsistentHashRouter,
+    HashRouter,
+    KeyRangeRouter,
+    Rebalance,
+    RoutingTable,
+    ShardRouter,
+    make_router,
+)
+
+__all__ = [
+    "ROUTER_NAMES",
+    "ConsistentHashRouter",
+    "HashRouter",
+    "KeyRangeRouter",
+    "Rebalance",
+    "RoutingTable",
+    "ShardRouter",
+    "ShardSource",
+    "ShardedEngine",
+    "ShardedRunResult",
+    "canonical_order",
+    "crash_shard",
+    "kill_shard",
+    "make_router",
+    "merge_window_answers",
+    "tenant_slice",
+]

@@ -1,0 +1,46 @@
+"""Shard-scoped fault profiles: kill one shard, leave the rest alone.
+
+The existing :class:`~repro.engine.faults.TaskFaultInjector` carries a
+``shard`` scope; the helpers here build the two canonical profiles the
+sharded differential suite exercises:
+
+- :func:`kill_shard` — poison a Map task so the shard's *worker pool*
+  dies mid-batch and is resurrected (requires the parallel executor,
+  like any poison fault).  The blast radius is one shard: other shards
+  run their own engines and pools, so other tenants' windows are
+  untouched — the bulkhead property the ROADMAP asks for.
+- :func:`crash_shard` — the executor-agnostic variant: the first
+  attempts of a batch's Map tasks raise and are retried in place.
+
+Both are deterministic (attempt-gated, like every task fault), so a
+fault-injected sharded run stays byte-identical to a clean one.
+"""
+
+from __future__ import annotations
+
+from ..faults import TaskFaultInjector
+
+__all__ = ["crash_shard", "kill_shard"]
+
+
+def kill_shard(
+    shard: int, batch_index: int, *, task_id: int = 0, times: int = 1
+) -> TaskFaultInjector:
+    """A profile that kills shard ``shard``'s worker pool in one batch.
+
+    The poisoned attempt hard-exits its worker process; the shard's
+    engine detects the broken pool, resurrects it, and replays the
+    batch from replicated input.  Parallel executor only.
+    """
+    return TaskFaultInjector(shard=shard).poison(
+        batch_index, "map", task_id, times=times
+    )
+
+
+def crash_shard(
+    shard: int, batch_index: int, *, task_id: int = 0, times: int = 1
+) -> TaskFaultInjector:
+    """A profile that crashes (and retries) one Map task on one shard."""
+    return TaskFaultInjector(shard=shard).crash(
+        batch_index, "map", task_id, times=times
+    )

@@ -1,0 +1,97 @@
+"""Cross-shard window merge in deterministic (tenant, key) order.
+
+Per-shard window answers hold *raw accumulator values* (the engine's
+:class:`~repro.engine.windows.WindowedAggregator` never finalizes), so
+combining shards is exact: keys owned by one shard pass through
+unchanged, and a key that lived on two shards inside one window — a
+tenant rebalanced at a batch boundary — is reconstructed with
+``aggregator.merge``, the same associative/commutative combine the
+reduce stage itself uses.
+
+Output ordering is canonical: rows sort by the type-qualified order
+tokens of ``(tenant, key)`` (see :func:`~repro.core.tuples._order_token`),
+so a merged answer is bit-identical no matter how many shards produced
+it or in which order they ran.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Mapping, Sequence
+
+from ...core.tuples import _order_token
+from ...queries.base import Aggregator
+
+__all__ = [
+    "canonical_order",
+    "merge_window_answers",
+    "tenant_slice",
+]
+
+
+def _sort_token(key: Hashable) -> tuple[str, str]:
+    """(tenant token, key token) for tagged keys; (token, "") otherwise."""
+    if isinstance(key, tuple) and len(key) == 2:
+        return (_order_token(key[0]), _order_token(key[1]))
+    return (_order_token(key), "")
+
+
+def _intern_key(key: Hashable, interned: dict) -> Hashable:
+    """Map equal keys (and key components) to one canonical object.
+
+    Serial runs reuse the same tenant-string object across every tuple;
+    parallel runs get distinct-but-equal strings back from worker
+    unpickling.  Pickle memoizes by object *identity*, so those two
+    equal answers would still serialize to different bytes.  Interning
+    through one table makes the object graph a pure function of the
+    values, restoring byte-identity.
+    """
+    if isinstance(key, tuple):
+        key = tuple(_intern_key(part, interned) for part in key)
+    try:
+        return interned.setdefault(key, key)
+    except TypeError:  # unhashable component — leave as-is
+        return key
+
+
+def canonical_order(answer: Mapping[Hashable, Any]) -> dict[Hashable, Any]:
+    """The same mapping with keys in canonical (tenant, key) order.
+
+    Python dicts preserve insertion order, so two runs that computed
+    equal answers in different key orders pickle differently; canonical
+    order makes byte comparison meaningful.  Keys are also interned
+    (see :func:`_intern_key`) so the pickled bytes depend only on the
+    values, not on which process originally built the key objects.
+    Used by both the merge stage and the differential suite.
+    """
+    interned: dict = {}
+    return {
+        _intern_key(k, interned): answer[k]
+        for k in sorted(answer, key=_sort_token)
+    }
+
+
+def merge_window_answers(
+    per_shard: Sequence[Mapping[Hashable, Any]], aggregator: Aggregator
+) -> dict[Hashable, Any]:
+    """Combine one window's per-shard answers into the cross-shard answer."""
+    merged: dict[Hashable, Any] = {}
+    for answer in per_shard:
+        for key, acc in answer.items():
+            if key in merged:
+                merged[key] = aggregator.merge(merged[key], acc)
+            else:
+                merged[key] = acc
+    return canonical_order(merged)
+
+
+def tenant_slice(
+    answer: Mapping[Hashable, Any], tenant: Hashable
+) -> dict[Hashable, Any]:
+    """One tenant's rows of a merged answer, in canonical key order."""
+    return canonical_order(
+        {
+            k: v
+            for k, v in answer.items()
+            if isinstance(k, tuple) and len(k) == 2 and k[0] == tenant
+        }
+    )

@@ -1,0 +1,218 @@
+"""Deterministic shard routers: tenant -> shard, with rebalance epochs.
+
+The routing tier in front of the N engines.  Three strategies, all
+stateless pure functions of the tenant id (so per-tenant results stay
+reproducible, cf. Partial Key Grouping's argument for deterministic
+routing):
+
+- ``hash`` — :func:`~repro.core.hashing.stable_hash` modulo N; the
+  simplest balanced assignment.
+- ``consistent-hash`` — a ring of virtual nodes; adding a shard moves
+  only the tenants whose ring arc it claims, not a full reshuffle.
+- ``key-range`` — contiguous ranges over the 32-bit stable-hash space;
+  shard i owns ``[i * 2^32 / N, (i + 1) * 2^32 / N)``.
+
+Every router builds on :func:`stable_hash` (seeded CRC32 over the
+canonical key bytes), so routing is identical across processes and
+platforms and survives pickling — the same contract the partitioner
+registry honours.
+
+:class:`RoutingTable` layers *rebalance epochs* on top: a pre-declared
+:class:`Rebalance` moves one tenant to a new shard from a given batch
+index onward, making the effective route a pure function of
+``(tenant, batch_index)`` — the deterministic handoff the sharded
+driver's migration protocol needs.
+"""
+
+from __future__ import annotations
+
+import abc
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from ...core.hashing import stable_hash
+
+__all__ = [
+    "ROUTER_NAMES",
+    "ROUTE_SEED",
+    "ConsistentHashRouter",
+    "HashRouter",
+    "KeyRangeRouter",
+    "Rebalance",
+    "RoutingTable",
+    "ShardRouter",
+    "make_router",
+]
+
+#: seed decoupling the routing tier's hash stream from the engine's
+#: bucket hashing, so shard choice never correlates with reduce buckets
+ROUTE_SEED = 0x5A4D
+
+
+class ShardRouter(abc.ABC):
+    """Maps a tenant id to one of ``num_shards`` shards, deterministically."""
+
+    name: str = "router"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+
+    @abc.abstractmethod
+    def route(self, tenant: Hashable) -> int:
+        """The shard index in ``[0, num_shards)`` owning ``tenant``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(num_shards={self.num_shards})"
+
+
+class HashRouter(ShardRouter):
+    """``stable_hash(tenant) % N`` — balanced, oblivious to shard churn."""
+
+    name = "hash"
+
+    def __init__(self, num_shards: int, *, seed: int = ROUTE_SEED) -> None:
+        super().__init__(num_shards)
+        self.seed = seed
+
+    def route(self, tenant: Hashable) -> int:
+        return stable_hash(tenant, self.seed) % self.num_shards
+
+
+class ConsistentHashRouter(ShardRouter):
+    """Virtual-node hash ring: route to the first point at or past the key.
+
+    Each shard owns ``vnodes`` points on the 32-bit ring; a tenant maps
+    to the owner of the first point clockwise from its hash.  Growing
+    the ring from N to N+1 shards relocates only the tenants whose arcs
+    the new shard's points claim (~1/(N+1) of them in expectation).
+    """
+
+    name = "consistent-hash"
+
+    def __init__(
+        self, num_shards: int, *, vnodes: int = 64, seed: int = ROUTE_SEED
+    ) -> None:
+        super().__init__(num_shards)
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self.seed = seed
+        points: list[tuple[int, int]] = []
+        for shard in range(num_shards):
+            for replica in range(vnodes):
+                point = stable_hash(f"shard-{shard}-vnode-{replica}", seed)
+                points.append((point, shard))
+        points.sort()
+        self._points = tuple(p for p, _ in points)
+        self._owners = tuple(s for _, s in points)
+
+    def route(self, tenant: Hashable) -> int:
+        ix = bisect_left(self._points, stable_hash(tenant, self.seed))
+        if ix == len(self._points):  # wrap past the top of the ring
+            ix = 0
+        return self._owners[ix]
+
+
+class KeyRangeRouter(ShardRouter):
+    """Contiguous equal ranges over the 32-bit stable-hash space."""
+
+    name = "key-range"
+
+    _SPACE = 1 << 32
+
+    def __init__(self, num_shards: int, *, seed: int = ROUTE_SEED) -> None:
+        super().__init__(num_shards)
+        self.seed = seed
+
+    def route(self, tenant: Hashable) -> int:
+        h = stable_hash(tenant, self.seed) % self._SPACE
+        return (h * self.num_shards) >> 32
+
+    def range_of(self, shard: int) -> tuple[int, int]:
+        """The half-open hash range ``[lo, hi)`` shard ``shard`` owns."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard must be in [0, {self.num_shards})")
+        lo = -(-shard * self._SPACE // self.num_shards)
+        hi = -(-(shard + 1) * self._SPACE // self.num_shards)
+        return lo, hi
+
+
+_ROUTERS: dict[str, type[ShardRouter]] = {
+    HashRouter.name: HashRouter,
+    ConsistentHashRouter.name: ConsistentHashRouter,
+    KeyRangeRouter.name: KeyRangeRouter,
+}
+
+#: every registered router strategy, in registry order
+ROUTER_NAMES: tuple[str, ...] = tuple(_ROUTERS)
+
+
+def make_router(name: str, num_shards: int, **kwargs: object) -> ShardRouter:
+    """Construct a router by registry name (see :data:`ROUTER_NAMES`)."""
+    cls = _ROUTERS.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown router {name!r}; choose from {', '.join(ROUTER_NAMES)}"
+        )
+    return cls(num_shards, **kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True, slots=True)
+class Rebalance:
+    """Move ``tenant`` to ``to_shard`` from batch ``at_batch`` onward.
+
+    Declared before the run starts, so the handoff is deterministic: the
+    tenant's tuples in batches ``< at_batch`` route to its original
+    shard, tuples in batches ``>= at_batch`` to the new one, and the
+    cross-shard window merge stitches the two halves back together
+    exactly (the merge operates on raw accumulators, so a window
+    spanning the boundary is reconstructed without approximation).
+    """
+
+    tenant: Hashable
+    to_shard: int
+    at_batch: int
+
+    def __post_init__(self) -> None:
+        if self.to_shard < 0:
+            raise ValueError(f"to_shard must be >= 0, got {self.to_shard}")
+        if self.at_batch < 0:
+            raise ValueError(f"at_batch must be >= 0, got {self.at_batch}")
+
+
+class RoutingTable:
+    """A router plus rebalance epochs: route as a function of batch index."""
+
+    def __init__(
+        self, router: ShardRouter, rebalances: Iterable[Rebalance] = ()
+    ) -> None:
+        self.router = router
+        self.rebalances: tuple[Rebalance, ...] = tuple(rebalances)
+        moves: dict[Hashable, list[tuple[int, int]]] = {}
+        for r in self.rebalances:
+            if r.to_shard >= router.num_shards:
+                raise ValueError(
+                    f"rebalance target shard {r.to_shard} out of range "
+                    f"for {router.num_shards} shards"
+                )
+            moves.setdefault(r.tenant, []).append((r.at_batch, r.to_shard))
+        for plan in moves.values():
+            plan.sort()
+        self._moves = moves
+
+    def shard_for(self, tenant: Hashable, batch_index: int) -> int:
+        """The shard owning ``tenant``'s tuples in batch ``batch_index``."""
+        shard = self.router.route(tenant)
+        for at_batch, to_shard in self._moves.get(tenant, ()):
+            if batch_index >= at_batch:
+                shard = to_shard
+        return shard
+
+    def assignment(
+        self, tenants: Sequence[Hashable], batch_index: int = 0
+    ) -> dict[Hashable, int]:
+        """Tenant -> shard map for one batch (diagnostics and tests)."""
+        return {t: self.shard_for(t, batch_index) for t in tenants}

@@ -50,7 +50,7 @@ from ..core.tuples import Key
 from ..obs.tracing import NULL_TRACER, Tracer, WorkerSpan
 from ..partitioners.base import Partitioner
 from ..queries.base import Aggregator, Query
-from .topology import Topology
+from .topology import ClusterTopology
 
 __all__ = [
     "TaskCostModel",
@@ -93,7 +93,7 @@ class TaskCostModel:
     reduce_per_tuple: float = 6e-5
     reduce_per_fragment: float = 5e-4
     #: extra cost per fragment fetched from a *remote* node; only
-    #: charged when a Topology is supplied to execute_batch_tasks
+    #: charged when a ClusterTopology is supplied to execute_batch_tasks
     network_per_remote_fragment: float = 0.0
 
     def __post_init__(self) -> None:
@@ -310,7 +310,7 @@ def run_map_task(
 def shuffle_map_results(
     map_results: Sequence[MapTaskResult],
     num_reducers: int,
-    topology: Topology | None = None,
+    topology: ClusterTopology | None = None,
 ) -> list[BucketInput]:
     """Gather every Map task's fragments per Reduce bucket (driver-side).
 
@@ -386,7 +386,7 @@ def execute_batch_tasks(
     partitioner: Partitioner,
     num_reducers: int,
     cost_model: TaskCostModel,
-    topology: Topology | None = None,
+    topology: ClusterTopology | None = None,
     run_seed: int = 0,
     tracer: Tracer = NULL_TRACER,
 ) -> BatchExecution:

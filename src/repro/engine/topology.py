@@ -23,12 +23,17 @@ from dataclasses import dataclass
 
 from .cluster import ClusterConfig
 
-__all__ = ["Topology"]
+__all__ = ["ClusterTopology", "Topology"]
 
 
 @dataclass(frozen=True, slots=True)
-class Topology:
-    """Round-robin placement of blocks and Reduce tasks over nodes."""
+class ClusterTopology:
+    """Round-robin placement of blocks and Reduce tasks over nodes.
+
+    Named ``ClusterTopology`` since v1 to leave ``Topology`` to the
+    public run-shape concept (:class:`repro.Topology`: single-engine vs
+    sharded); the old name stays importable as an alias.
+    """
 
     cluster: ClusterConfig
 
@@ -67,3 +72,7 @@ class Topology:
             if not self.is_local(b, r)
         )
         return remote / (num_blocks * num_reducers)
+
+
+#: backward-compatible alias (pre-v1 name of :class:`ClusterTopology`)
+Topology = ClusterTopology

@@ -233,6 +233,44 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    # ------------------------------------------------------------------
+    def merge_from(
+        self,
+        other: "MetricsRegistry",
+        extra_labels: Mapping[str, str] | None = None,
+    ) -> None:
+        """Fold another registry's instruments into this one.
+
+        The sharded driver rolls every shard engine's registry up into
+        one cross-shard registry with ``extra_labels={"shard": "i"}``:
+        counters accumulate, gauges take the source's last value, and
+        histograms add bucket counts/sum/count.  With distinct extra
+        labels per source registry the folded series never collide —
+        and they coexist with same-name unlabeled series, since metric
+        identity is ``(name, labels)``.
+        """
+        extra = dict(extra_labels or {})
+        for metric in other.collect():
+            labels = {**dict(metric.labels), **extra}
+            help = other.help_for(metric.name)
+            if metric.kind == "counter":
+                self.counter(metric.name, help, labels).inc(metric.value)
+            elif metric.kind == "gauge":
+                self.gauge(metric.name, help, labels).set(metric.value)
+            elif metric.kind == "histogram":
+                mine = self.histogram(
+                    metric.name, help, labels, buckets=metric.buckets
+                )
+                if mine.buckets != metric.buckets:
+                    raise ValueError(
+                        f"histogram {metric.name!r} bucket mismatch on merge"
+                    )
+                with mine._lock:
+                    for i, c in enumerate(metric.bucket_counts):
+                        mine.bucket_counts[i] += c
+                    mine.sum += metric.sum
+                    mine.count += metric.count
+
 
 class _NullInstrument:
     """One object that absorbs every instrument method as a no-op."""
@@ -264,6 +302,9 @@ class NullMetricsRegistry(MetricsRegistry):
 
     def histogram(self, name, help="", labels=None, buckets=DEFAULT_BUCKETS):  # type: ignore[override]
         return self._null
+
+    def merge_from(self, other, extra_labels=None):  # type: ignore[override]
+        return None
 
 
 #: shared no-op registry — the default wherever metrics are accepted

@@ -17,6 +17,12 @@ from .late import DelayedSource
 from .replay import ReplaySource
 from .source import DatasetProperties, StreamSource, ZipfKeyedSource
 from .synd import SYND_EXPONENTS, synd_source
+from .tenants import (
+    MultiTenantSource,
+    TenantStream,
+    TenantTaggedSource,
+    tenant_of,
+)
 from .tpch import tpch_lineitem_source
 from .tweets import tweets_source
 from .zipf import ZipfSampler
@@ -29,6 +35,7 @@ __all__ = [
     "ElasticWorkloadSource",
     "HotKeyFlipSource",
     "KeyChurnSource",
+    "MultiTenantSource",
     "PiecewiseRate",
     "RampRate",
     "ReplaySource",
@@ -36,6 +43,8 @@ __all__ = [
     "ScaledRate",
     "SinusoidalRate",
     "StreamSource",
+    "TenantStream",
+    "TenantTaggedSource",
     "ZipfKeyedSource",
     "ZipfSampler",
     "debs_taxi_source",
@@ -43,6 +52,7 @@ __all__ = [
     "hot_key_flip_source",
     "key_churn_source",
     "synd_source",
+    "tenant_of",
     "tpch_lineitem_source",
     "tweets_source",
 ]

@@ -24,8 +24,8 @@ ENV = {"cpu_count": 4, "python": "3.11", "numpy": False}
 # grid declaration
 def test_grid_sizes():
     assert len(TINY_GRID) == 1
-    assert len(QUICK_GRID) == 8
-    assert len(FULL_GRID) == 72
+    assert len(QUICK_GRID) == 12  # 8 single-engine + 4 sharded (s2, d1)
+    assert len(FULL_GRID) == 96  # 72 single-engine + 24 sharded (s2/s4)
     assert set(GRIDS) == {"tiny", "quick", "full"}
 
 
@@ -33,6 +33,36 @@ def test_grid_prunes_faulted_serial_cells():
     for cell in FULL_GRID.cells():
         if cell.fault_profile != "none":
             assert cell.backend == "parallel"
+
+
+def test_grid_prunes_sharded_cells_to_the_clean_serial_path():
+    sharded = [c for c in FULL_GRID.cells() if c.shards]
+    assert sharded, "full grid lost its sharded cells"
+    for cell in sharded:
+        assert cell.backend == "serial"
+        assert cell.pipeline_depth == 1
+        assert cell.fault_profile == "none"
+
+
+def test_shards_axis_preserves_legacy_config_hashes():
+    """shards=0 must hash identically to a pre-axis cell (omitted key)."""
+    from repro.bench.store import config_hash
+
+    cell = MatrixCell("synd-z1.4", "hash")
+    assert cell.shards == 0
+    assert "shards" not in cell.params()
+    legacy = config_hash(
+        {
+            "workload": "synd-z1.4",
+            "partitioner": "hash",
+            "backend": "serial",
+            "ingest_kernel": "default",
+            "pipeline_depth": 1,
+            "fault_profile": "none",
+        }
+    )
+    assert cell.config_hash == legacy
+    assert MatrixCell("synd-z1.4", "hash", shards=2).config_hash != legacy
 
 
 def test_cell_hash_stable_and_label():

@@ -8,6 +8,7 @@ from pathlib import Path
 import pytest
 
 from repro.cli import EXPERIMENTS, main
+from repro.engine.sharding import ROUTER_NAMES
 from repro.partitioners import PARTITIONER_NAMES, make_partitioner
 
 
@@ -149,6 +150,45 @@ def test_quickstart_accepts_a_partitioner(capsys):
 def test_quickstart_rejects_unknown_partitioner():
     with pytest.raises(SystemExit):
         main(["quickstart", "--partitioner", "nonesuch"])
+
+
+# ----------------------------------------------------------------------
+# shard routers: the sharded demo's --router axis
+@pytest.mark.parametrize("name", ROUTER_NAMES)
+def test_every_router_name_round_trips(name):
+    """Each router name must parse as ``--router``, construct through
+    the registry, and survive pickling (routers ride inside the
+    sharded engine, which the spec path may itself pickle)."""
+    from repro.cli import _build_parser
+    from repro.engine.sharding import make_router
+
+    args = _build_parser().parse_args(["run", "sharded", "--router", name])
+    assert args.router == name
+    router = make_router(name, 3)
+    restored = pickle.loads(pickle.dumps(router))
+    assert [restored.route(f"t{i}") for i in range(20)] == [
+        router.route(f"t{i}") for i in range(20)
+    ]
+
+
+@pytest.mark.parametrize("name", ROUTER_NAMES)
+def test_every_router_name_is_documented(name):
+    """doc-sync: the API reference must list every router strategy."""
+    api = (Path(__file__).resolve().parents[1] / "docs" / "api.md").read_text()
+    assert f"`{name}`" in api, f"{name} missing from docs/api.md"
+
+
+def test_run_rejects_unknown_router():
+    with pytest.raises(SystemExit):
+        main(["run", "sharded", "--router", "nonesuch", "--no-save"])
+
+
+def test_run_sharded_demo(capsys):
+    pytest.importorskip("numpy")
+    assert main(["run", "sharded", "--quick", "--no-save"]) == 0
+    out = capsys.readouterr().out
+    assert "Sharded topology" in out
+    assert "merged answers identical to a single-engine run: True" in out
 
 
 # ----------------------------------------------------------------------

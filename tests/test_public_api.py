@@ -1,15 +1,17 @@
-"""The frozen v0 public surface: ``repro.__all__`` vs ``docs/api.md``.
+"""The frozen v1 public surface: ``repro.__all__`` vs ``docs/api.md``.
 
 Three-way agreement, so the surface cannot drift silently:
 
-1. the literal ``V0_SURFACE`` list below (the freeze itself — changing
+1. the literal ``V1_SURFACE`` list below (the freeze itself — changing
    the public API means editing this test, which is the point),
 2. ``repro.__all__`` as shipped,
-3. the symbol table under "The frozen v0 surface" in ``docs/api.md``.
+3. the symbol table under "The frozen v1 surface" in ``docs/api.md``.
 
 Everything deeper than ``import repro`` (``repro.engine.*``,
 ``repro.core.*``, ...) stays importable but carries no stability
-promise, so it is deliberately not covered here.
+promise, so it is deliberately not covered here.  The v0 compatibility
+contract (loose engine kwargs on ``repro.run``) is covered by
+``tests/test_api_v1.py``.
 """
 
 from __future__ import annotations
@@ -21,9 +23,50 @@ import repro
 
 DOCS = Path(__file__).resolve().parent.parent / "docs"
 
-#: The curated v0 surface, frozen. Additions are allowed in v0 (append
-#: here and to the docs table); removals or renames are a breaking
-#: change and need a deprecation story first.
+#: The curated v1 surface, frozen.  v1 is a strict superset of v0 —
+#: every v0 name is still here — plus the topology tier (RunSpec,
+#: Topology shapes, sharding).  Additions are allowed (append here and
+#: to the docs table); removals or renames are a breaking change and
+#: need a deprecation story first.
+V1_SURFACE = [
+    "AccumulatorConfig",
+    "AutoScaler",
+    "BatchInfo",
+    "CountTree",
+    "ElasticityConfig",
+    "EngineConfig",
+    "ExecutorKind",
+    "MPIWeights",
+    "MicroBatchAccumulator",
+    "MicroBatchEngine",
+    "MultiTenantSource",
+    "ObservabilityConfig",
+    "PartitionedBatch",
+    "PromptBatchPartitioner",
+    "PromptConfig",
+    "Query",
+    "Rebalance",
+    "ReduceBucketAllocator",
+    "RunObservability",
+    "RunResult",
+    "RunSpec",
+    "ShardRouter",
+    "Sharded",
+    "ShardedEngine",
+    "ShardedRunResult",
+    "SingleEngine",
+    "StreamTuple",
+    "TenantStream",
+    "Topology",
+    "WindowSpec",
+    "__version__",
+    "evaluate_partition",
+    "make_partitioner",
+    "make_router",
+    "run",
+]
+
+#: every name the v0 freeze shipped — v1 must keep all of them
 V0_SURFACE = [
     "AccumulatorConfig",
     "AutoScaler",
@@ -56,11 +99,11 @@ def _documented_surface() -> list[str]:
     """Parse the symbol column of the api.md frozen-surface table."""
     text = (DOCS / "api.md").read_text(encoding="utf-8")
     match = re.search(
-        r"^## The frozen v0 surface.*?$(.*?)(?=^## )",
+        r"^## The frozen v1 surface.*?$(.*?)(?=^## )",
         text,
         re.MULTILINE | re.DOTALL,
     )
-    assert match, "docs/api.md lost its 'The frozen v0 surface' section"
+    assert match, "docs/api.md lost its 'The frozen v1 surface' section"
     section = match.group(1)
     # Stop at the migration-notes subsection so prose backticks there
     # cannot leak into the parsed surface.
@@ -71,7 +114,11 @@ def _documented_surface() -> list[str]:
 
 
 def test_all_matches_the_freeze():
-    assert list(repro.__all__) == V0_SURFACE
+    assert list(repro.__all__) == V1_SURFACE
+
+
+def test_v1_is_a_superset_of_v0():
+    assert set(V0_SURFACE) <= set(repro.__all__)
 
 
 def test_all_is_sorted_and_duplicate_free():
@@ -100,6 +147,19 @@ def test_run_signature_is_the_documented_one():
     assert names[:2] == ["source", "query"]
     assert params["partitioner"].default == "prompt"
     assert "num_batches" in params
+    # v1 keyword-only surface
+    assert params["topology"].kind is inspect.Parameter.KEYWORD_ONLY
+    assert params["engine"].kind is inspect.Parameter.KEYWORD_ONLY
     assert any(
         p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
-    ), "repro.run must forward **config to EngineConfig"
+    ), "repro.run must keep accepting v0 loose engine kwargs"
+
+
+def test_runspec_defaults_mirror_run_defaults():
+    import inspect
+
+    run_params = inspect.signature(repro.run).parameters
+    spec_fields = {f.name: f for f in __import__("dataclasses").fields(repro.RunSpec)}
+    assert run_params["partitioner"].default == "prompt"
+    assert spec_fields["partitioner"].default == "prompt"
+    assert run_params["num_batches"].default == spec_fields["num_batches"].default
