@@ -75,11 +75,51 @@ def _run_quickstart(
     return time.perf_counter() - started
 
 
+#: generous ceiling for the guarded no-op span pattern in the dispatch
+#: loops (seconds per iteration) — the real cost is a truthiness check,
+#: ~10ns, so tripping this means someone reintroduced per-task span
+#: construction on the untraced path
+NOOP_SPAN_BUDGET_SECONDS = 2e-6
+NOOP_SPAN_ITERATIONS = 200_000
+
+
+def check_noop_span_cost() -> float:
+    """Measure the untraced per-task span pattern of the dispatch loops.
+
+    ``execute_batch_tasks`` guards span construction behind
+    ``tracer.enabled`` and reuses one shared ``nullcontext`` — entering
+    a context manager per task would otherwise dominate the serial
+    dispatch loop when observability is off.  This micro-bench runs the
+    exact guarded pattern against the no-op tracer and asserts it stays
+    effectively free.
+    """
+    from repro.engine.tasks import _NULL_CM
+    from repro.obs.tracing import NULL_TRACER
+
+    tracer = NULL_TRACER
+    traced = tracer.enabled
+    started = time.perf_counter()
+    for i in range(NOOP_SPAN_ITERATIONS):
+        with tracer.span("map_task", task_id=i) if traced else _NULL_CM:
+            pass
+    return (time.perf_counter() - started) / NOOP_SPAN_ITERATIONS
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--outdir", default="obs-artifacts")
     parser.add_argument("--max-ratio", type=float, default=1.25)
     args = parser.parse_args(argv)
+
+    per_iter = check_noop_span_cost()
+    if per_iter > NOOP_SPAN_BUDGET_SECONDS:
+        print(
+            f"FAIL: untraced per-task span pattern costs {per_iter:.2e}s/iter "
+            f"(budget {NOOP_SPAN_BUDGET_SECONDS:.0e}s) — the dispatch loops "
+            f"are paying for spans with tracing off"
+        )
+        return 1
+    print(f"ok: untraced span guard costs {per_iter:.2e}s/iter")
 
     outdir = Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)

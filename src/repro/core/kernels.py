@@ -54,6 +54,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from .batch import BatchInfo, DataBlock, PartitionedBatch
 from .buffering import AccumulatedBatch, MicroBatchAccumulator
+from .plan_stream import LedgerBlock, PlanGenerator, split_segment_chain
 from .tuples import Key, KeyGroup, StreamTuple, _order_token
 
 try:  # pragma: no cover - exercised by the no-numpy CI job
@@ -73,6 +74,7 @@ __all__ = [
     "KernelIngest",
     "accumulate_batch",
     "plan_greedy",
+    "plan_greedy_stream",
 ]
 
 _GET_KEY = attrgetter("key")
@@ -447,14 +449,51 @@ def plan_greedy(
     unit_weights: bool = False,
     chain_weights: Optional[Sequence] = None,
 ) -> PartitionedBatch:
-    """Algorithm 2 (greedy strategy) over a sorted size array.
+    """Drain :func:`plan_greedy_stream` into a finished batch.
+
+    The eager entry point every existing caller (and the >1000-instance
+    property suite) uses — so the streaming generator underneath is
+    exercised bit-for-bit even by consumers that never stream.
+    """
+    gen = plan_greedy_stream(
+        partitioner,
+        key_groups,
+        num_blocks,
+        info,
+        sizes,
+        unit_weights=unit_weights,
+        chain_weights=chain_weights,
+    )
+    while True:
+        try:
+            next(gen)
+        except StopIteration as stop:
+            return stop.value
+
+
+def plan_greedy_stream(
+    partitioner: "PromptBatchPartitioner",
+    key_groups: Sequence[KeyGroup],
+    num_blocks: int,
+    info: BatchInfo,
+    sizes: Optional["np.ndarray"] = None,
+    *,
+    unit_weights: bool = False,
+    chain_weights: Optional[Sequence] = None,
+) -> PlanGenerator:
+    """Algorithm 2 (greedy strategy) over a sorted size array, streamed.
 
     Mirrors ``PromptBatchPartitioner.partition(strategy="greedy")``
     phase by phase: LPT dicing of split keys (chunk boundaries via
     ``searchsorted`` on each hot chain's cumulative weight), the
     capacity-aware zigzag deal batched one *pass* per numpy step, and
-    the partitioner's own rebalance pass on the materialized blocks —
-    so the output is identical by construction, not by approximation.
+    the partitioner's own rebalance pass — so the output is identical
+    by construction, not by approximation.  Placement runs on
+    :class:`~repro.core.plan_stream.LedgerBlock` segment ledgers; once
+    the split-key table is final each block is materialized and yielded
+    (block-index order) so a streaming dispatcher can launch its Map
+    task while later blocks are still being copied out.  The generator
+    returns the completed :class:`PartitionedBatch`.
 
     ``sizes`` may carry the exact per-group weights (as produced by
     :func:`accumulate_batch`); otherwise they are summed here.  When the
@@ -467,16 +506,19 @@ def plan_greedy(
         raise RuntimeError("numpy placement kernel requested but numpy is absent")
     if num_blocks < 1:
         raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
-    blocks = [DataBlock(i) for i in range(num_blocks)]
-    placements: dict[Key, set[int]] = {}
     num_groups = len(key_groups)
     if sizes is None:
         sizes = np.fromiter((g.size for g in key_groups), dtype=np.int64, count=num_groups)
     total_weight = int(sizes.sum())
     if not num_groups or total_weight == 0:
+        empty = [DataBlock(i) for i in range(num_blocks)]
+        for block in empty:
+            yield block, set()
         return PartitionedBatch(
-            info=info, blocks=blocks, split_keys={}, partitioner_name="prompt"
+            info=info, blocks=empty, split_keys={}, partitioner_name="prompt"
         )
+    blocks = [LedgerBlock(i) for i in range(num_blocks)]
+    placements: dict[Key, set[int]] = {}
 
     p_size = math.ceil(total_weight / num_blocks)
     p_card = max(1, num_groups // num_blocks)
@@ -511,7 +553,7 @@ def plan_greedy(
                 end = min(start + chunk_cap, m)
                 ti = heappop(heap)[2]
                 target = blocks[ti]
-                target.install_fragment(group.key, chain[start:end], end - start)
+                target.add_segment(group.key, chain, start, end, end - start)
                 heappush(heap, (target.size, target.cardinality, ti))
                 placed.add(ti)
                 start = end
@@ -529,7 +571,7 @@ def plan_greedy(
             chunk_weight = int(cum[end - 1]) - base
             ti = heappop(heap)[2]
             target = blocks[ti]
-            target.install_fragment(group.key, chain[start:end], chunk_weight)
+            target.add_segment(group.key, chain, start, end, chunk_weight)
             heappush(heap, (target.size, target.cardinality, ti))
             placed.add(ti)
             base = int(cum[end - 1])
@@ -588,15 +630,22 @@ def plan_greedy(
         placements.setdefault(group.key, set()).add(target)
 
     # Phase 3: identical by reuse — the oracle's own rebalance pass runs
-    # on the materialized blocks.
-    partitioner._rebalance_sizes(blocks, placements, p_size)
+    # on the segment ledgers, with the split rule in segment space.
+    partitioner._rebalance_sizes(
+        blocks, placements, p_size, split=split_segment_chain
+    )
 
     split_keys = {
         k: tuple(sorted(ixs)) for k, ixs in placements.items() if len(ixs) > 1
     }
+    out_blocks: list[DataBlock] = []
+    for ledger in blocks:
+        block = ledger.materialize()
+        out_blocks.append(block)
+        yield block, {k for k in split_keys if k in block}
     return PartitionedBatch(
         info=info,
-        blocks=blocks,
+        blocks=out_blocks,
         split_keys=split_keys,
         partitioner_name="prompt",
     )

@@ -18,6 +18,7 @@ from __future__ import annotations
 import logging
 import time
 from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -95,6 +96,15 @@ class EngineConfig:
     #: trace flag, run seed) once per pool generation and ship per-task
     #: deltas; False restores the legacy full-payload-per-task dispatch
     resident_context: bool = True
+    #: stream Algorithm 2's plan into Map dispatch: the partitioner
+    #: hands the backend a :class:`~repro.core.plan_stream.PlanStream`
+    #: and each finalized block's Map task launches while the plan tail
+    #: (rebalance spillover, later blocks' materialization) is still
+    #: running.  The parallel backend truly overlaps; other backends
+    #: drain the stream eagerly.  Outputs are byte-identical to eager
+    #: dispatch — results always merge in block/bucket order — so the
+    #: knob moves only real wall-clock, never the answer.
+    streaming_dispatch: bool = False
     #: root seed for per-task RNG derivation (run-level determinism)
     run_seed: int = 0
     #: bounded re-execution of transiently-failed task attempts (the
@@ -178,11 +188,20 @@ class _InFlightBatch:
     index: int
     info: BatchInfo
     tuples: list
+    #: the finished plan — ``None`` while a streaming dispatch is in
+    #: flight (the plan tail runs on the dispatch thread); resolved from
+    #: ``plan`` when the handle joins
     partitioned: Any
     handle: BatchHandle
     map_tasks: int
     reduce_tasks: int
     batch_span_id: int
+    #: the in-flight :class:`~repro.core.plan_stream.PlanStream` under
+    #: streaming dispatch (``None`` on the eager path)
+    plan: Any = None
+    #: the receiver's early-release window info, retained so the
+    #: deferred ``early.record`` charges the right window
+    window: Any = None
     #: real stamp of submit_batch *returning* to the driver.  An eager
     #: backend executes inside the call, so completed_at <= dispatched_at
     #: and the overlap accounting correctly collapses to zero; an async
@@ -377,22 +396,50 @@ class MicroBatchEngine:
                 map_tasks = scaler.map_tasks if scaler else cfg.num_blocks
                 reduce_tasks = scaler.reduce_tasks if scaler else cfg.num_reducers
                 feedback.deliver(self.partitioner, k)
-                with tracer.span(
-                    "partition", batch=k, technique=self.partitioner.name
-                ):
-                    partitioned = self.partitioner.partition(
-                        tuples, map_tasks, info
+                if cfg.streaming_dispatch:
+                    # the partition span covers buffering (synchronous)
+                    # and the plan *handoff*; the Algorithm 2 passes run
+                    # under the backend's plan_emit spans instead
+                    with tracer.span(
+                        "partition", batch=k, technique=self.partitioner.name
+                    ):
+                        plan = self.partitioner.partition_stream(
+                            tuples, map_tasks, info
+                        )
+                    handle = backend.submit_batch_stream(
+                        plan,
+                        self.query,
+                        self.partitioner,
+                        reduce_tasks,
+                        cfg.cost_model,
+                        topology=topology,
+                        trace_parent=batch_span.span_id,
                     )
-                early.record(partitioned.plan_elapsed, window)
-                publish_partition_quality(partitioned)
-                execution = backend.run_batch(
-                    partitioned,
-                    self.query,
-                    self.partitioner,
-                    reduce_tasks,
-                    cfg.cost_model,
-                    topology=topology,
-                )
+                    execution = handle.result()
+                    partitioned = plan.result()
+                    # deferred past the join: record() is pure
+                    # accounting over the plan's *CPU* time (which the
+                    # PlanStream measured), so the audit charges the
+                    # same cost whether or not dispatch overlapped it
+                    early.record(partitioned.plan_elapsed, window)
+                    publish_partition_quality(partitioned)
+                else:
+                    with tracer.span(
+                        "partition", batch=k, technique=self.partitioner.name
+                    ):
+                        partitioned = self.partitioner.partition(
+                            tuples, map_tasks, info
+                        )
+                    early.record(partitioned.plan_elapsed, window)
+                    publish_partition_quality(partitioned)
+                    execution = backend.run_batch(
+                        partitioned,
+                        self.query,
+                        self.partitioner,
+                        reduce_tasks,
+                        cfg.cost_model,
+                        topology=topology,
+                    )
                 if feedback.enabled:
                     # execution is in hand here (synchronous dispatch),
                     # but the buffer withholds it until batch k+2's
@@ -456,6 +503,52 @@ class MicroBatchEngine:
         # leaks into the determinism contract.
         in_flight: deque[_InFlightBatch] = deque()
 
+        # -- bounded completion worker (depth >= 2) ---------------------
+        # _complete_batch (output merge, window fold, state put/evict,
+        # stats) used to run inline in drain_one, so a large-window merge
+        # stalled the driver exactly where pipelining was supposed to
+        # buy overlap.  At depth >= 2 completions are handed to a single
+        # worker thread and joined in a bounded queue: one thread +
+        # batch-ordered enqueue keeps windows/state folding in batch
+        # order (the determinism contract), and the bound keeps memory
+        # and completion lag finite.  Everything _complete_batch touches
+        # (windows, store, stats, monitor, recoveries, window_answers)
+        # is owned by the worker while the run is live: the scaler and
+        # sizer are always None at depth >= 2 (clamped above), and the
+        # driver only reads those structures after the final flush.
+        completer: Optional[ThreadPoolExecutor] = None
+        completions: deque["Future[None]"] = deque()
+        completion_bound = max(2, depth)
+        if depth > 1:
+            completer = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="prompt-complete"
+            )
+
+        def enqueue_completion(complete) -> None:
+            if completer is None:
+                complete()
+                return
+            enqueued_at = time.perf_counter()
+
+            def run_completion() -> None:
+                complete()
+                if metrics.enabled:
+                    metrics.histogram(
+                        "prompt_completion_lag_seconds",
+                        "Real time from a batch's join to the end of its "
+                        "deferred completion work",
+                    ).observe(time.perf_counter() - enqueued_at)
+
+            completions.append(completer.submit(run_completion))
+            while len(completions) > completion_bound:
+                # joining the oldest future re-raises anything the
+                # completion work raised, so failures surface promptly
+                completions.popleft().result()
+
+        def flush_completions() -> None:
+            while completions:
+                completions.popleft().result()
+
         def drain_one() -> None:
             entry = in_flight.popleft()
             k = entry.index
@@ -468,6 +561,16 @@ class MicroBatchEngine:
             finally:
                 tracer.end(wait_span)
             pipeline_wait = time.perf_counter() - wait_started
+            if entry.partitioned is None:
+                # streaming dispatch: the plan finished on the dispatch
+                # thread before the handle resolved.  Resolve the batch
+                # and run the accounting the eager path did at heartbeat
+                # time — record() is pure accounting over the PlanStream's
+                # measured plan CPU time, so deferring it past the join
+                # charges the same cost and perturbs nothing.
+                entry.partitioned = entry.plan.result()
+                early.record(entry.partitioned.plan_elapsed, entry.window)
+                publish_partition_quality(entry.partitioned)
             if feedback.enabled:
                 # feedback from batch k-1 (or earlier) published while
                 # later batches are in flight; the buffer's fixed lag
@@ -499,30 +602,33 @@ class MicroBatchEngine:
             job = scheduler.submit(
                 k, processing, ready_at=entry.info.t_end
             )
-            self._complete_batch(
-                k,
-                entry.info,
-                entry.tuples,
-                entry.partitioned.buffer_elapsed,
-                entry.partitioned.plan_elapsed,
-                execution,
-                job,
-                entry.map_tasks,
-                entry.reduce_tasks,
-                scaler=scaler,
-                windows=windows,
-                batches_per_window=batches_per_window,
-                store=store,
-                monitor=monitor,
-                stats=stats,
-                window_answers=window_answers,
-                scaling_history=scaling_history,
-                recoveries=recoveries,
-                sizer=sizer,
-                obs=obs,
-                batch_span_id=entry.batch_span_id,
-                pipeline_wait=pipeline_wait,
-                pipeline_overlap=overlap,
+            partitioned = entry.partitioned
+            enqueue_completion(
+                lambda: self._complete_batch(
+                    k,
+                    entry.info,
+                    entry.tuples,
+                    partitioned.buffer_elapsed,
+                    partitioned.plan_elapsed,
+                    execution,
+                    job,
+                    entry.map_tasks,
+                    entry.reduce_tasks,
+                    scaler=scaler,
+                    windows=windows,
+                    batches_per_window=batches_per_window,
+                    store=store,
+                    monitor=monitor,
+                    stats=stats,
+                    window_answers=window_answers,
+                    scaling_history=scaling_history,
+                    recoveries=recoveries,
+                    sizer=sizer,
+                    obs=obs,
+                    batch_span_id=entry.batch_span_id,
+                    pipeline_wait=pipeline_wait,
+                    pipeline_overlap=overlap,
+                )
             )
 
         def pipelined_heartbeat(k: int, t_start: float, interval: float) -> None:
@@ -541,23 +647,45 @@ class MicroBatchEngine:
                 # so exactly the feedback the buffer's lag releases is
                 # guaranteed published — same bytes, same order as depth 1
                 feedback.deliver(self.partitioner, k)
-                with tracer.span(
-                    "partition", batch=k, technique=self.partitioner.name
-                ):
-                    partitioned = self.partitioner.partition(
-                        tuples, cfg.num_blocks, info
+                plan = None
+                if cfg.streaming_dispatch:
+                    with tracer.span(
+                        "partition", batch=k, technique=self.partitioner.name
+                    ):
+                        plan = self.partitioner.partition_stream(
+                            tuples, cfg.num_blocks, info
+                        )
+                    # the plan tail and the early-release/quality
+                    # accounting resolve in drain_one when the handle
+                    # joins; partitioned=None marks the deferral
+                    partitioned = None
+                    handle = backend.submit_batch_stream(
+                        plan,
+                        self.query,
+                        self.partitioner,
+                        cfg.num_reducers,
+                        cfg.cost_model,
+                        topology=topology,
+                        trace_parent=batch_span.span_id,
                     )
-                early.record(partitioned.plan_elapsed, window)
-                publish_partition_quality(partitioned)
-                handle = backend.submit_batch(
-                    partitioned,
-                    self.query,
-                    self.partitioner,
-                    cfg.num_reducers,
-                    cfg.cost_model,
-                    topology=topology,
-                    trace_parent=batch_span.span_id,
-                )
+                else:
+                    with tracer.span(
+                        "partition", batch=k, technique=self.partitioner.name
+                    ):
+                        partitioned = self.partitioner.partition(
+                            tuples, cfg.num_blocks, info
+                        )
+                    early.record(partitioned.plan_elapsed, window)
+                    publish_partition_quality(partitioned)
+                    handle = backend.submit_batch(
+                        partitioned,
+                        self.query,
+                        self.partitioner,
+                        cfg.num_reducers,
+                        cfg.cost_model,
+                        topology=topology,
+                        trace_parent=batch_span.span_id,
+                    )
                 dispatched_at = time.perf_counter()
             finally:
                 tracer.end(batch_span)
@@ -571,6 +699,8 @@ class MicroBatchEngine:
                     map_tasks=cfg.num_blocks,
                     reduce_tasks=cfg.num_reducers,
                     batch_span_id=batch_span.span_id,
+                    plan=plan,
+                    window=window,
                     dispatched_at=dispatched_at,
                 )
             )
@@ -605,11 +735,16 @@ class MicroBatchEngine:
             # The pipelined driver parks up to `depth` dispatched batches;
             # the heartbeat chain ends with the last of them still in
             # flight.  Join them in batch order before the run closes so
-            # stats/windows/state see every batch exactly once.
+            # stats/windows/state see every batch exactly once — then
+            # join the completion worker's tail so every batch's
+            # windows/state/stats fold lands before results are read.
             while in_flight:
                 drain_one()
+            flush_completions()
         finally:
             tracer.end(run_span)
+            if completer is not None:
+                completer.shutdown(wait=True)
             backend.close()
         if monitor.triggered:
             log.warning(

@@ -113,6 +113,7 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence
 
 from ..core.batch import PartitionedBatch
+from ..core.plan_stream import PlanStream
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.tracing import NULL_TRACER, Tracer, WorkerSpan
 from ..partitioners.base import Partitioner
@@ -317,6 +318,40 @@ class ExecutionBackend(abc.ABC):
             execution.completed_at = time.perf_counter()
             future.set_result(execution)
         return BatchHandle(batch.info.index, future, submitted)
+
+    def submit_batch_stream(
+        self,
+        plan: PlanStream,
+        query: Query,
+        partitioner: Partitioner,
+        num_reducers: int,
+        cost_model: TaskCostModel,
+        topology: ClusterTopology | None = None,
+        *,
+        trace_parent: int | None = None,
+    ) -> BatchHandle:
+        """Submit a *streaming* plan for execution.
+
+        The base implementation drains the plan to completion first —
+        inside a ``plan_emit`` span so the trace still shows where the
+        plan tail ran — and then submits the finished batch through
+        :meth:`submit_batch`.  Backends with a real dispatch pipeline
+        (the parallel executor) override this to launch each block's Map
+        task as the planner emits it.  Either way the downstream merge
+        consumes results in block/bucket order, so streaming submission
+        is byte-identical to eager submission by construction.
+        """
+        span = self.tracer.start(
+            "plan_emit", parent=trace_parent, batch=plan.batch_index,
+        )
+        try:
+            batch = plan.result()
+        finally:
+            self.tracer.end(span)
+        return self.submit_batch(
+            batch, query, partitioner, num_reducers, cost_model,
+            topology=topology, trace_parent=trace_parent,
+        )
 
     def observed_load(
         self, batch: PartitionedBatch, execution: BatchExecution
@@ -877,6 +912,7 @@ class ParallelExecutor(ExecutionBackend):
         counters: _WaveCounters,
         kind: str = "task",
         batch_index: int = -1,
+        prelaunched: Sequence[Optional[Future]] | None = None,
     ) -> list:
         """Run one wave of tasks with retries/resurrection/speculation.
 
@@ -887,6 +923,14 @@ class ParallelExecutor(ExecutionBackend):
         driver trace (in task-id order, so the span tree is independent
         of completion races) and retries/timeouts/speculative launches
         are marked with zero-duration events.
+
+        ``prelaunched`` (streaming dispatch) hands over attempt-0
+        futures the dispatcher already put in flight, one slot per task;
+        ``None`` slots (the pool broke mid-stream) are submitted here
+        instead.  Adopted futures join the wave exactly as if this loop
+        had launched them — same accounting, same retry/resurrection/
+        speculation treatment — so a streamed wave and an eager wave are
+        indistinguishable downstream.
         """
         n = len(payloads)
         results: list = [None] * n
@@ -896,12 +940,41 @@ class ParallelExecutor(ExecutionBackend):
         outstanding = [0] * n  # live futures per task
         deadlines = [float("inf")] * n
         pending: dict[Future, tuple[int, bool]] = {}
-        to_submit: list[tuple[int, bool]] = [(tid, False) for tid in range(n)]
         remaining = n
         resurrections_left = self.max_pool_resurrections
         won_attempt = [0] * n  # attempt number of the winning copy
         won_speculative = [False] * n
         pending_attempt: dict[Future, int] = {}
+
+        def charge_attempt(tid: int) -> None:
+            counters.attempts += 1
+            self.task_attempts += 1
+            # every launched attempt ships its payload again, so the
+            # byte accounting charges per attempt, not per task
+            nbytes = len(payloads[tid])
+            counters.payload_bytes += nbytes
+            self.payload_bytes += nbytes
+            self.metrics.histogram(
+                "prompt_task_payload_bytes",
+                "Pickled driver-to-worker payload size per task attempt",
+                buckets=PAYLOAD_BYTE_BUCKETS,
+            ).observe(nbytes)
+            if self.task_timeout is not None:
+                deadlines[tid] = time.monotonic() + self.task_timeout
+
+        to_submit: list[tuple[int, bool]] = []
+        if prelaunched is None:
+            to_submit = [(tid, False) for tid in range(n)]
+        else:
+            for tid, future in enumerate(prelaunched):
+                if future is None:
+                    to_submit.append((tid, False))
+                    continue
+                pending[future] = (tid, False)
+                pending_attempt[future] = 0
+                attempts[tid] = 1
+                outstanding[tid] = 1
+                charge_attempt(tid)
 
         def record_success(tid: int, future: Future, speculative: bool) -> None:
             nonlocal remaining
@@ -975,21 +1048,8 @@ class ParallelExecutor(ExecutionBackend):
                 pending_attempt[future] = attempts[tid]
                 attempts[tid] += 1
                 outstanding[tid] += 1
-                counters.attempts += 1
-                self.task_attempts += 1
-                # every launched attempt ships its payload again, so the
-                # byte accounting charges per attempt, not per task
-                nbytes = len(payloads[tid])
-                counters.payload_bytes += nbytes
-                self.payload_bytes += nbytes
-                self.metrics.histogram(
-                    "prompt_task_payload_bytes",
-                    "Pickled driver-to-worker payload size per task attempt",
-                    buckets=PAYLOAD_BYTE_BUCKETS,
-                ).observe(nbytes)
                 pending[future] = (tid, speculative)
-                if self.task_timeout is not None:
-                    deadlines[tid] = time.monotonic() + self.task_timeout
+                charge_attempt(tid)
                 to_submit.pop(0)
 
         while remaining:
@@ -1095,6 +1155,67 @@ class ParallelExecutor(ExecutionBackend):
         return results
 
     # ------------------------------------------------------------------
+    def _reduce_wave(
+        self,
+        map_results: Sequence[MapTaskResult],
+        query: Query,
+        num_reducers: int,
+        cost_model: TaskCostModel,
+        topology: ClusterTopology | None,
+        counters: _WaveCounters,
+        batch_index: int,
+        trace: bool,
+    ) -> list[ReduceTaskResult]:
+        """Shuffle Map results and run the Reduce wave.
+
+        Shared verbatim by the eager and streaming paths: the shuffle
+        consumes Map results in block-id order and Reduce submission is
+        never overlapped with planning, so the two paths converge here
+        on identical bytes.
+        """
+        with self.tracer.span("shuffle", batch=batch_index):
+            buckets: list[BucketInput] = shuffle_map_results(
+                map_results, num_reducers, topology
+            )
+        injector = self.fault_injector
+        if self.resident_context:
+            reduce_worker: Callable = _reduce_task_delta_worker
+            reduce_payloads = self._pickle_payloads(
+                [
+                    (
+                        self._generation,
+                        batch_index,
+                        bucket.bucket_index,
+                        bucket,
+                    )
+                    for bucket in buckets
+                ]
+            )
+        else:
+            reduce_worker = _reduce_task_worker
+            reduce_payloads = self._pickle_payloads(
+                [
+                    (
+                        None if injector is None
+                        else injector.fault_for(
+                            batch_index, "reduce", bucket.bucket_index
+                        ),
+                        trace,
+                        bucket,
+                        query.aggregator,
+                        cost_model,
+                        derive_task_seed(
+                            self.run_seed, batch_index, "reduce", bucket.bucket_index
+                        ),
+                    )
+                    for bucket in buckets
+                ]
+            )
+        return self._run_tasks(
+            reduce_worker, reduce_payloads, counters, "reduce", batch_index
+        )
+
+    # ------------------------------------------------------------------
     def run_batch(
         self,
         batch: PartitionedBatch,
@@ -1160,42 +1281,9 @@ class ParallelExecutor(ExecutionBackend):
             map_results: list[MapTaskResult] = self._run_tasks(
                 map_worker, map_payloads, counters, "map", batch_index
             )
-            with self.tracer.span("shuffle", batch=batch_index):
-                buckets: list[BucketInput] = shuffle_map_results(
-                    map_results, num_reducers, topology
-                )
-            if self.resident_context:
-                reduce_worker: Callable = _reduce_task_delta_worker
-                reduce_payloads = self._pickle_payloads(
-                    [
-                        (
-                            self._generation,
-                            batch_index,
-                            bucket.bucket_index,
-                            bucket,
-                        )
-                        for bucket in buckets
-                    ]
-                )
-            else:
-                reduce_worker = _reduce_task_worker
-                reduce_payloads = self._pickle_payloads(
-                    [
-                        (
-                            fault_for("reduce", bucket.bucket_index),
-                            trace,
-                            bucket,
-                            query.aggregator,
-                            cost_model,
-                            derive_task_seed(
-                                self.run_seed, batch_index, "reduce", bucket.bucket_index
-                            ),
-                        )
-                        for bucket in buckets
-                    ]
-                )
-            reduce_results: list[ReduceTaskResult] = self._run_tasks(
-                reduce_worker, reduce_payloads, counters, "reduce", batch_index
+            reduce_results = self._reduce_wave(
+                map_results, query, num_reducers, cost_model, topology,
+                counters, batch_index, trace,
             )
         except BaseException as exc:
             if isinstance(exc, BrokenProcessPool):
@@ -1256,6 +1344,189 @@ class ParallelExecutor(ExecutionBackend):
             try:
                 execution = self.run_batch(
                     batch, query, partitioner, num_reducers, cost_model,
+                    topology=topology,
+                )
+            finally:
+                self.tracer.end(span)
+            execution.submitted_at = submitted
+            execution.completed_at = time.perf_counter()
+            return execution
+
+        return BatchHandle(index, self._ensure_dispatcher().submit(_execute), submitted)
+
+    # ------------------------------------------------------------------
+    def _run_batch_stream(
+        self,
+        plan: PlanStream,
+        query: Query,
+        partitioner: Partitioner,
+        num_reducers: int,
+        cost_model: TaskCostModel,
+        topology: ClusterTopology | None = None,
+    ) -> BatchExecution:
+        """Interleave plan emissions with Map dispatch (dispatch thread).
+
+        Each ``plan_emit`` resumes Algorithm 2 until the next block is
+        final; each ``map_dispatch`` pickles that block's payload and
+        puts its attempt-0 future in flight immediately, so early blocks
+        execute while the plan tail (rebalance spillover, later blocks'
+        materialization) is still running.  The wave loop then *adopts*
+        the prelaunched futures, which keeps retries, pool resurrection
+        and speculation — and therefore the produced bytes — identical
+        to the eager path.  A pool that breaks mid-stream stops further
+        prelaunching (pickling continues); the unlaunched tasks are
+        submitted by the wave loop, whose salvage path rebuilds the pool
+        exactly as it does for an eager wave.
+        """
+        if num_reducers < 1:
+            raise ValueError(f"num_reducers must be >= 1, got {num_reducers}")
+        allocate = partitioner.reduce_allocation()
+        batch_index = plan.batch_index
+        injector = self.fault_injector
+        counters = _WaveCounters()
+        trace = self.tracer.enabled
+        installs_before = self.context_installs
+        context_bytes_before = self.context_bytes
+        try:
+            if self.resident_context:
+                self._ensure_context(query, allocate, cost_model, trace)
+                map_worker: Callable = _map_task_delta_worker
+            else:
+                map_worker = _map_task_worker
+            map_payloads: list[bytes] = []
+            prelaunched: list[Optional[Future]] = []
+            pool_broken = False
+            first_dispatch_at: float | None = None
+            while True:
+                with self.tracer.span("plan_emit", batch=batch_index):
+                    emission = plan.next_emission()
+                if emission is None:
+                    break
+                block, block_split = emission
+                with self.tracer.span(
+                    "map_dispatch", batch=batch_index, task_id=block.index
+                ):
+                    if self.resident_context:
+                        item: tuple = (
+                            self._generation,
+                            batch_index,
+                            block.index,
+                            block,
+                            num_reducers,
+                            block_split,
+                        )
+                    else:
+                        item = (
+                            None if injector is None
+                            else injector.fault_for(batch_index, "map", block.index),
+                            trace,
+                            block,
+                            query,
+                            allocate,
+                            num_reducers,
+                            block_split,
+                            cost_model,
+                            derive_task_seed(
+                                self.run_seed, batch_index, "map", block.index
+                            ),
+                        )
+                    payload = self._pickle_payloads([item])[0]
+                    map_payloads.append(payload)
+                    future: Optional[Future] = None
+                    if not pool_broken:
+                        try:
+                            future = self._ensure_pool().submit(
+                                map_worker, payload, 0
+                            )
+                        except BrokenProcessPool:
+                            # leave the corpse for the wave loop's
+                            # salvage path, which owns resurrection
+                            pool_broken = True
+                            future = None
+                        else:
+                            if first_dispatch_at is None:
+                                first_dispatch_at = time.perf_counter()
+                            # yield the GIL so the pool's manager thread
+                            # can feed the work item to a worker now —
+                            # without this the plan tail starves it and
+                            # the prelaunched task sits queued in-process
+                            time.sleep(0)
+                    prelaunched.append(future)
+            if first_dispatch_at is not None:
+                # wall-clock during which dispatched Map work and the
+                # plan tail ran concurrently — what streaming reclaims
+                self.metrics.histogram(
+                    "prompt_plan_dispatch_overlap_seconds",
+                    "Wall-clock between the first streamed Map dispatch "
+                    "and the end of the partition plan",
+                ).observe(max(0.0, time.perf_counter() - first_dispatch_at))
+            batch = plan.result()
+            map_results: list[MapTaskResult] = self._run_tasks(
+                map_worker, map_payloads, counters, "map", batch_index,
+                prelaunched=prelaunched,
+            )
+            reduce_results = self._reduce_wave(
+                map_results, query, num_reducers, cost_model, topology,
+                counters, batch_index, trace,
+            )
+        except BaseException as exc:
+            if isinstance(exc, BrokenProcessPool):
+                self._close_pool()
+            if self.fallback_to_serial and _is_infrastructure_error(exc):
+                try:
+                    batch = plan.result()
+                except BaseException:
+                    # the plan itself is broken — that is the real
+                    # error, not the infrastructure hiccup
+                    raise exc from None
+                return self._serial_fallback(
+                    exc, batch, query, partitioner, num_reducers, cost_model,
+                    topology,
+                )
+            raise
+        return BatchExecution(
+            map_results=map_results,
+            reduce_results=reduce_results,
+            backend=self.name,
+            task_attempts=counters.attempts,
+            task_retries=counters.retries,
+            pool_resurrections=counters.resurrections,
+            speculative_wins=counters.speculative_wins,
+            timeout_trips=counters.timeout_trips,
+            payload_bytes=counters.payload_bytes,
+            context_installs=self.context_installs - installs_before,
+            context_bytes=self.context_bytes - context_bytes_before,
+        )
+
+    def submit_batch_stream(
+        self,
+        plan: PlanStream,
+        query: Query,
+        partitioner: Partitioner,
+        num_reducers: int,
+        cost_model: TaskCostModel,
+        topology: ClusterTopology | None = None,
+        *,
+        trace_parent: int | None = None,
+    ) -> BatchHandle:
+        """Dispatch a streaming plan on the dispatch thread.
+
+        The plan generator itself resumes on that thread — the driver
+        already finished buffering (Algorithm 1 is batching-phase work),
+        so handing the Algorithm 2 tail over moves it off the driver's
+        critical path entirely.  One dispatch thread still means batches
+        stream strictly in submission order.
+        """
+        submitted = time.perf_counter()
+        index = plan.batch_index
+
+        def _execute() -> BatchExecution:
+            span = self.tracer.start(
+                "execute", parent=trace_parent, batch=index, backend=self.name
+            )
+            try:
+                execution = self._run_batch_stream(
+                    plan, query, partitioner, num_reducers, cost_model,
                     topology=topology,
                 )
             finally:

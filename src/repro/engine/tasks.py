@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Collection, Sequence
 
@@ -51,6 +52,12 @@ from ..obs.tracing import NULL_TRACER, Tracer, WorkerSpan
 from ..partitioners.base import Partitioner
 from ..queries.base import Aggregator, Query
 from .topology import ClusterTopology
+
+#: shared no-op context for untraced per-task loops — entering it costs
+#: one bytecode-level call, versus building a fresh generator-backed
+#: context manager per task through NullTracer.span (the dominant
+#: dispatch-loop overhead when tracing is off)
+_NULL_CM = nullcontext()
 
 __all__ = [
     "TaskCostModel",
@@ -408,10 +415,15 @@ def execute_batch_tasks(
     allocate = partitioner.reduce_allocation()
     split = set(batch.split_keys)
     batch_index = batch.info.index
+    traced = tracer.enabled
     map_results = []
     for block in batch.blocks:
-        with tracer.span(
-            "map_task", task_id=block.index, batch=batch_index, attempt=0
+        with (
+            tracer.span(
+                "map_task", task_id=block.index, batch=batch_index, attempt=0
+            )
+            if traced
+            else _NULL_CM
         ):
             map_results.append(
                 run_map_task(
@@ -430,8 +442,13 @@ def execute_batch_tasks(
         buckets = shuffle_map_results(map_results, num_reducers, topology)
     reduce_results = []
     for bucket in buckets:
-        with tracer.span(
-            "reduce_task", task_id=bucket.bucket_index, batch=batch_index, attempt=0
+        with (
+            tracer.span(
+                "reduce_task", task_id=bucket.bucket_index,
+                batch=batch_index, attempt=0,
+            )
+            if traced
+            else _NULL_CM
         ):
             reduce_results.append(
                 run_reduce_task(

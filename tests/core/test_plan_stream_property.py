@@ -1,0 +1,224 @@
+"""Property suite: streaming plan emission vs the eager plan, bit for bit.
+
+``Partitioner.partition_stream`` promises that the blocks it emits —
+and the order it emits them in — are *identical* to the blocks the
+eager :meth:`partition` call would have produced, and that the batch
+returned by ``result()`` is byte-identical to the eager one.  For the
+Prompt technique that promise is non-trivial: the streaming path runs
+Algorithm 2's greedy assignment over zero-copy ledger blocks and
+materializes each block on emission, so fragment contents, fragment
+*insertion order*, split-key tables and the cross-batch accumulator
+trajectory must all survive the rewrite exactly.
+
+This suite hammers the promise with 500+ seeded random instances:
+Zipf-skewed key populations across cardinalities/batch sizes/block
+counts, weighted tuples, multi-batch replays with key churn (so the
+adaptive accumulator history evolves along the whole trajectory), and
+duplicate timestamps — on both the Python reference ingest kernel and
+the vectorized numpy one.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.batch import BatchInfo
+from repro.core.plan_stream import PlanStream, eager_plan_stream
+from repro.core.tuples import StreamTuple
+from repro.partitioners import make_partitioner
+from repro.partitioners.prompt import PromptPartitioner
+
+#: scenarios x batches per kernel; the two kernels together clear 500
+NUM_SCENARIOS = 80
+BATCHES_PER_SCENARIO = 4
+
+
+def _gen_batch(rng, index, n, num_keys, key_base, weighted):
+    """One interval of Zipf-ish tuples with optional weights and churn."""
+    t_start = float(index)
+    t_end = t_start + 1.0
+    ts = sorted(rng.uniform(t_start, t_end) for _ in range(n))
+    if n >= 2 and rng.random() < 0.3:
+        ts[n // 2] = ts[n // 2 - 1]  # duplicate timestamps
+    out = []
+    for i in range(n):
+        rank = int(rng.paretovariate(1.1)) % num_keys
+        weight = rng.randint(1, 5) if weighted else 1
+        out.append(
+            StreamTuple(ts=ts[i], key=f"k{key_base + rank}", weight=weight)
+        )
+    return out, BatchInfo(index=index, t_start=t_start, t_end=t_end)
+
+
+def _block_snapshot(block, split_keys):
+    return (
+        block.index,
+        block.size,
+        block.cardinality,
+        sorted(split_keys),
+        [
+            (key, [(t.ts, t.key, t.value, t.weight) for t in block.fragment(key)])
+            for key in block.keys
+        ],
+    )
+
+
+def _batch_snapshot(partitioner, batch):
+    blocks = [
+        _block_snapshot(b, {k for k in batch.split_keys if k in b})
+        for b in batch.blocks
+    ]
+    state = None
+    accumulated = getattr(partitioner, "last_batch", None)
+    if accumulated is not None:
+        state = (
+            [(g.key, g.tracked_count, len(g.tuples)) for g in accumulated.key_groups],
+            accumulated.tree_updates,
+            accumulated.total_weight,
+        )
+    return pickle.dumps(
+        (blocks, list(batch.split_keys.items()), state)
+    )
+
+
+def _drain(stream: PlanStream):
+    """Pull every emission, then the finished batch."""
+    emissions = []
+    while True:
+        emission = stream.next_emission()
+        if emission is None:
+            break
+        emissions.append(emission)
+    return emissions, stream.result()
+
+
+def _check_scenario(scenario: int, ingest_kernel: str) -> None:
+    rng = random.Random(17000 + scenario)
+    weighted = scenario % 4 == 3
+    num_keys = 3 + (scenario * 29) % 120
+    num_blocks = 2 + scenario % 7
+    eager = PromptPartitioner(ingest_kernel=ingest_kernel)
+    streamed = PromptPartitioner(ingest_kernel=ingest_kernel)
+    key_base = 0
+    for index in range(BATCHES_PER_SCENARIO):
+        n = 50 + (scenario * 137 + index * 311) % 700
+        tuples, info = _gen_batch(rng, index, n, num_keys, key_base, weighted)
+        key_base += rng.choice((0, 0, num_keys // 3, num_keys))  # churn
+
+        eager_batch = eager.partition(tuples, num_blocks, info)
+        emissions, streamed_batch = _drain(
+            streamed.partition_stream(tuples, num_blocks, info)
+        )
+
+        # emission order and content: exactly the eager plan's blocks,
+        # in block-index order, with the same per-block split keys
+        assert len(emissions) == len(eager_batch.blocks), (
+            f"scenario={scenario} batch={index}"
+        )
+        for eager_block, (block, split_keys) in zip(
+            eager_batch.blocks, emissions
+        ):
+            expected_split = {
+                k for k in eager_batch.split_keys if k in eager_block
+            }
+            assert _block_snapshot(block, split_keys) == _block_snapshot(
+                eager_block, expected_split
+            ), f"scenario={scenario} batch={index} block={block.index}"
+
+        # the drained batch, split tables and accumulator trajectory
+        # are byte-identical — cross-batch adaptation stays in lockstep
+        assert _batch_snapshot(streamed, streamed_batch) == _batch_snapshot(
+            eager, eager_batch
+        ), f"scenario={scenario} batch={index}"
+
+        # result() hands back the same block objects it emitted
+        for (block, _), result_block in zip(emissions, streamed_batch.blocks):
+            assert block is result_block
+
+
+@pytest.mark.parametrize("chunk", range(4))
+def test_stream_matches_eager_plan_python_kernel(chunk):
+    per_chunk = NUM_SCENARIOS // 4
+    for scenario in range(chunk * per_chunk, (chunk + 1) * per_chunk):
+        _check_scenario(scenario, "python")
+
+
+@pytest.mark.parametrize("chunk", range(4))
+def test_stream_matches_eager_plan_numpy_kernel(chunk):
+    pytest.importorskip("numpy")
+    per_chunk = NUM_SCENARIOS // 4
+    for scenario in range(chunk * per_chunk, (chunk + 1) * per_chunk):
+        _check_scenario(scenario, "numpy")
+
+
+def test_result_without_pulling_equals_full_drain():
+    """``result()`` on an untouched stream drains internally and returns
+    the same batch a pull-everything consumer sees."""
+    rng = random.Random(5)
+    tuples, info = _gen_batch(rng, 0, 400, 60, 0, weighted=True)
+    a = PromptPartitioner()
+    b = PromptPartitioner()
+    _, pulled = _drain(a.partition_stream(tuples, 2 + 3, info))
+    direct = b.partition_stream(tuples, 2 + 3, info).result()
+    assert _batch_snapshot(a, pulled) == _batch_snapshot(b, direct)
+
+
+def test_plan_elapsed_is_stamped_on_the_streamed_batch():
+    """Streaming charges plan CPU (generator-resident time) onto the
+    batch, so Fig. 14b overhead attribution survives dispatch overlap."""
+    rng = random.Random(6)
+    tuples, info = _gen_batch(rng, 0, 500, 50, 0, weighted=False)
+    partitioner = PromptPartitioner()
+    stream = partitioner.partition_stream(tuples, 4, info)
+    assert stream.next_emission() is not None
+    batch = stream.result()
+    assert batch.plan_elapsed == pytest.approx(stream.plan_elapsed)
+    assert batch.plan_elapsed > 0.0
+
+
+def test_default_partition_stream_replays_eagerly():
+    """Techniques without an incremental plan still speak the streaming
+    API: the base class plans eagerly and replays blocks in order."""
+    rng = random.Random(7)
+    tuples, info = _gen_batch(rng, 0, 300, 40, 0, weighted=False)
+    hashing = make_partitioner("hash")
+    reference = make_partitioner("hash")
+    eager_batch = reference.partition(tuples, 4, info)
+    emissions, streamed_batch = _drain(
+        hashing.partition_stream(tuples, 4, info)
+    )
+    assert [b.index for b, _ in emissions] == [
+        b.index for b in eager_batch.blocks
+    ]
+    assert _batch_snapshot(None, streamed_batch) == _batch_snapshot(
+        None, eager_batch
+    )
+    # the replay wraps the *finished* batch: emitted blocks are the
+    # batch's own objects and timing fields are left untouched
+    assert all(b is rb for (b, _), rb in zip(emissions, streamed_batch.blocks))
+
+
+def test_eager_plan_stream_preserves_timing_fields():
+    rng = random.Random(8)
+    tuples, info = _gen_batch(rng, 0, 200, 30, 0, weighted=False)
+    partitioner = PromptPartitioner()
+    batch = partitioner.partition(tuples, 3, info)
+    batch.plan_elapsed = 1.25
+    batch.buffer_elapsed = 0.5
+    stream = eager_plan_stream(batch)
+    result = stream.result()
+    assert result is batch
+    assert result.plan_elapsed == 1.25
+    assert result.buffer_elapsed == 0.5
+
+
+def test_next_emission_past_completion_stays_none():
+    rng = random.Random(9)
+    tuples, info = _gen_batch(rng, 0, 100, 20, 0, weighted=False)
+    stream = PromptPartitioner().partition_stream(tuples, 3, info)
+    stream.result()
+    assert stream.next_emission() is None
+    assert stream.next_emission() is None

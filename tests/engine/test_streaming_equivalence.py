@@ -1,0 +1,316 @@
+"""Differential harness: streaming dispatch is bit-identical to eager.
+
+``streaming_dispatch=True`` changes *when* Map tasks launch — each
+block's attempt-0 goes in flight while Algorithm 2's plan tail is still
+running — but must never change *what* the engine computes.  Every case
+runs the same seeded workload with eager dispatch (the reference) and
+with streaming dispatch and requires
+
+- byte-identical windowed answers (pickled per window, like the
+  pipeline-equivalence harness),
+- equal ``RunStats`` records field for field — streaming's wall-clock
+  observations are ``compare=False`` by design, the simulated timeline
+  is not,
+- identical backpressure verdicts, state stores and recoveries.
+
+Coverage crosses executors (the parallel backend truly interleaves;
+the serial backend drains the stream eagerly through the base
+``submit_batch_stream``), pipeline depths 1 and 2 (streamed plans ride
+in-flight handles, resolved at join time), both ingest kernels, and the
+fault-tolerance machinery *on prelaunched attempts*: task crashes
+landing mid-plan and a worker poison that breaks the pool while the
+plan is still streaming blocks into it.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.engine.engine import EngineConfig, MicroBatchEngine
+from repro.engine.faults import TaskFaultInjector
+from repro.obs import ObservabilityConfig
+from repro.partitioners import make_partitioner
+from repro.queries import wordcount_query
+from repro.workloads import ConstantRate, synd_source, tweets_source
+
+NUM_BATCHES = 5
+
+WORKLOADS = {
+    "synd-skewed": lambda: synd_source(
+        1.4, num_keys=300, arrival=ConstantRate(1_000.0), seed=11
+    ),
+    "tweets": lambda: tweets_source(rate=800.0, seed=42),
+}
+
+PARTITIONERS = ("prompt", "hash")
+EXECUTORS = ("serial", "parallel")
+KERNELS = ("python", "numpy")
+
+
+def _run(
+    workload: str,
+    partitioner: str,
+    executor: str,
+    *,
+    streaming: bool,
+    depth: int = 1,
+    seed: int = 13,
+    ingest_kernel: str | None = None,
+    injector: TaskFaultInjector | None = None,
+    observability: ObservabilityConfig | None = None,
+):
+    cfg = EngineConfig(
+        batch_interval=1.0,
+        num_blocks=4,
+        num_reducers=4,
+        executor=executor,
+        executor_workers=2,
+        run_seed=seed,
+        pipeline_depth=depth,
+        ingest_kernel=ingest_kernel,
+        streaming_dispatch=streaming,
+        observability=observability,
+    )
+    engine = MicroBatchEngine(
+        make_partitioner(partitioner),
+        wordcount_query(window_length=3.0),
+        cfg,
+        task_fault_injector=injector,
+    )
+    return engine.run(WORKLOADS[workload](), NUM_BATCHES)
+
+
+def _assert_equivalent(reference, streamed):
+    """Dispatch mode never leaks into results: windows, stats, control."""
+    assert len(reference.window_answers) == len(streamed.window_answers)
+    for r_window, s_window in zip(
+        reference.window_answers, streamed.window_answers
+    ):
+        assert pickle.dumps(r_window) == pickle.dumps(s_window)
+    assert reference.stats.records == streamed.stats.records
+    assert reference.stats.batch_interval == streamed.stats.batch_interval
+    assert reference.scaling_history == streamed.scaling_history
+    assert reference.backpressure.triggered == streamed.backpressure.triggered
+    assert reference.stable == streamed.stable
+    assert len(reference.recoveries) == len(streamed.recoveries)
+    assert len(reference.state_store) == len(streamed.state_store)
+    for record in reference.stats.records:
+        if record.index in reference.state_store:
+            assert dict(reference.state_store.get(record.index).output) == dict(
+                streamed.state_store.get(record.index).output
+            )
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("partitioner", PARTITIONERS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_streaming_matches_eager(workload, partitioner, executor):
+    """The tentpole contract: streamed == eager, on both executors and
+    both partitioning paths (prompt streams a real incremental plan;
+    hash replays an eager one through the same API)."""
+    reference = _run(workload, partitioner, executor, streaming=False)
+    streamed = _run(workload, partitioner, executor, streaming=True)
+    _assert_equivalent(reference, streamed)
+    if executor == "parallel":
+        assert streamed.backend_name == "parallel"
+        assert streamed.executor_fallbacks == 0
+        assert streamed.stats.backends_used() == ("parallel",)
+
+
+@pytest.mark.parametrize("depth", (1, 2))
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_streaming_matches_eager_across_kernels_and_depths(kernel, depth):
+    """Both ingest kernels stream their plans (the numpy kernel through
+    its own incremental greedy pass) at both pipeline depths."""
+    if kernel == "numpy":
+        pytest.importorskip("numpy")
+    reference = _run(
+        "synd-skewed", "prompt", "parallel",
+        streaming=False, depth=depth, ingest_kernel=kernel,
+    )
+    streamed = _run(
+        "synd-skewed", "prompt", "parallel",
+        streaming=True, depth=depth, ingest_kernel=kernel,
+    )
+    _assert_equivalent(reference, streamed)
+    assert streamed.executor_fallbacks == 0
+
+
+@pytest.mark.parametrize("seed", (0, 1, 7, 99))
+def test_streaming_matches_eager_across_seeds(seed):
+    """The contract holds for any run seed, not one lucky constant."""
+    reference = _run(
+        "synd-skewed", "prompt", "parallel", streaming=False, seed=seed
+    )
+    streamed = _run(
+        "synd-skewed", "prompt", "parallel", streaming=True, seed=seed
+    )
+    _assert_equivalent(reference, streamed)
+
+
+def test_streaming_rides_the_pipelined_driver():
+    """Depth 2 parks streamed plans inside in-flight handles; the plan
+    resolves at join time and the run equals the sequential eager one."""
+    reference = _run("tweets", "prompt", "serial", streaming=False, depth=1)
+    streamed = _run("tweets", "prompt", "parallel", streaming=True, depth=2)
+    _assert_equivalent(reference, streamed)
+    assert streamed.executor_fallbacks == 0
+
+
+@pytest.mark.parametrize("partitioner", PARTITIONERS)
+def test_task_crashes_on_prelaunched_attempts(partitioner):
+    """A crash injected into attempt 0 of a *prelaunched* Map task (and
+    a Reduce retry behind it) must be retried by the adopted wave loop
+    exactly like an eagerly launched one — invisible in the results."""
+    injector = (
+        TaskFaultInjector()
+        .crash(0, "map", 0, times=1)
+        .crash(1, "reduce", 1, times=2)
+    )
+    reference = _run("synd-skewed", partitioner, "serial", streaming=False)
+    streamed = _run(
+        "synd-skewed", partitioner, "parallel",
+        streaming=True, injector=injector,
+    )
+    _assert_equivalent(reference, streamed)
+    assert streamed.stats.total_task_retries() >= 3
+    assert streamed.executor_fallbacks == 0
+    assert streamed.stats.backends_used() == ("parallel",)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_pool_kill_during_streamed_dispatch(kernel):
+    """The acceptance-criteria case: a worker poison breaks the process
+    pool while the plan is still streaming blocks into it.  Prelaunching
+    stops, pickling continues, and the wave loop's salvage path rebuilds
+    the pool once — byte-identical, zero serial fallbacks."""
+    if kernel == "numpy":
+        pytest.importorskip("numpy")
+    injector = TaskFaultInjector().poison(2, "map", 1, times=1)
+    reference = _run(
+        "synd-skewed", "prompt", "serial",
+        streaming=False, ingest_kernel=kernel,
+    )
+    streamed = _run(
+        "synd-skewed", "prompt", "parallel",
+        streaming=True, ingest_kernel=kernel, injector=injector,
+    )
+    _assert_equivalent(reference, streamed)
+    stats = streamed.stats
+    assert stats.total_pool_resurrections() == 1
+    by_index = {r.index: r for r in stats.records}
+    assert by_index[2].pool_resurrections == 1
+    assert streamed.executor_fallbacks == 0
+    assert [r.backend for r in stats.records] == ["parallel"] * NUM_BATCHES
+
+
+def test_pool_kill_with_streaming_and_pipelining():
+    """Pool kill while a streamed plan is in an in-flight depth-2 handle:
+    resurrection happens on the dispatcher thread mid-stream."""
+    injector = TaskFaultInjector().poison(2, "map", 1, times=1)
+    reference = _run("synd-skewed", "prompt", "serial", streaming=False)
+    streamed = _run(
+        "synd-skewed", "prompt", "parallel",
+        streaming=True, depth=2, injector=injector,
+    )
+    _assert_equivalent(reference, streamed)
+    assert streamed.stats.total_pool_resurrections() == 1
+    assert streamed.executor_fallbacks == 0
+
+
+def test_unrecoverable_fault_degrades_to_serial_mid_stream():
+    """When resurrection budget runs out on a streamed batch, the serial
+    fallback drains the plan and completes the batch — the run still
+    produces the eager answer."""
+    injector = TaskFaultInjector().poison(1, "map", 0, times=5)
+    reference = _run("tweets", "prompt", "serial", streaming=False)
+    streamed = _run(
+        "tweets", "prompt", "parallel", streaming=True, injector=injector
+    )
+    _assert_equivalent(reference, streamed)
+    assert streamed.executor_fallbacks >= 1
+
+
+def test_streaming_off_is_the_legacy_path_exactly():
+    """``streaming_dispatch=False`` must be indistinguishable from a
+    config that never mentions the knob."""
+    explicit = _run("synd-skewed", "prompt", "parallel", streaming=False)
+    cfg = EngineConfig(
+        batch_interval=1.0, num_blocks=4, num_reducers=4,
+        executor="parallel", executor_workers=2, run_seed=13,
+    )
+    engine = MicroBatchEngine(
+        make_partitioner("prompt"), wordcount_query(window_length=3.0), cfg
+    )
+    implicit = engine.run(WORKLOADS["synd-skewed"](), NUM_BATCHES)
+    _assert_equivalent(implicit, explicit)
+
+
+def test_streaming_observability_reports_the_overlap():
+    """Tracing must not steer the streamed run, and must record it:
+    ``plan_emit`` spans per emission, per-block ``map_dispatch`` spans
+    on the parallel backend, and the overlap histogram."""
+    traced = _run(
+        "synd-skewed", "prompt", "parallel",
+        streaming=True, observability=ObservabilityConfig(),
+    )
+    untraced = _run("synd-skewed", "prompt", "parallel", streaming=True)
+    _assert_equivalent(untraced, traced)
+
+    spans = traced.observability.tracer.spans
+    by_name: dict[str, list] = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span)
+    # one plan_emit per emission plus the final (None) probe per batch
+    assert len(by_name["plan_emit"]) == NUM_BATCHES * (4 + 1)
+    assert len(by_name["map_dispatch"]) == NUM_BATCHES * 4
+    for span in by_name["map_dispatch"]:
+        assert span.attrs["task_id"] in range(4)
+
+    snapshot = traced.observability.metrics.as_dict()
+    overlap = snapshot["prompt_plan_dispatch_overlap_seconds"]
+    assert overlap["count"] == NUM_BATCHES
+
+    # eager runs keep the namespace exactly as it was pre-streaming
+    eager = _run(
+        "synd-skewed", "prompt", "parallel",
+        streaming=False, observability=ObservabilityConfig(),
+    )
+    names = set(eager.observability.metrics.as_dict())
+    assert "prompt_plan_dispatch_overlap_seconds" not in names
+    assert not any(s.name in ("plan_emit", "map_dispatch")
+                   for s in eager.observability.tracer.spans)
+
+
+def test_serial_streaming_traces_a_single_plan_emit_drain():
+    """The base ``submit_batch_stream`` drains the whole plan inside one
+    ``plan_emit`` span per batch — visible, but with no map_dispatch."""
+    traced = _run(
+        "synd-skewed", "prompt", "serial",
+        streaming=True, observability=ObservabilityConfig(),
+    )
+    names = [s.name for s in traced.observability.tracer.spans]
+    assert names.count("plan_emit") == NUM_BATCHES
+    assert "map_dispatch" not in names
+
+
+def test_completion_worker_reports_lag_at_depth2():
+    """The pipelined driver's deferred ``_complete_batch`` work records
+    a completion-lag observation per batch; depth 1 never does."""
+    deep = _run(
+        "synd-skewed", "prompt", "parallel",
+        streaming=False, depth=2, observability=ObservabilityConfig(),
+    )
+    lag = deep.observability.metrics.as_dict()[
+        "prompt_completion_lag_seconds"
+    ]
+    assert lag["count"] == NUM_BATCHES
+
+    shallow = _run(
+        "synd-skewed", "prompt", "parallel",
+        streaming=False, depth=1, observability=ObservabilityConfig(),
+    )
+    names = set(shallow.observability.metrics.as_dict())
+    assert "prompt_completion_lag_seconds" not in names

@@ -62,6 +62,21 @@ def test_observability_doc_covers_the_metric_catalog():
         assert f"`{name}`" in doc, f"{name} missing from docs/observability.md"
 
 
+def test_streaming_dispatch_is_documented_everywhere():
+    """The streaming-dispatch surface stays in sync across the docs."""
+    arch = _read("docs/architecture.md")
+    assert "## Streaming dispatch (`streaming_dispatch`)" in arch
+    assert "`PlanStream`" in arch
+    assert "submit_batch_stream" in arch
+    api = _read("docs/api.md")
+    assert "`streaming_dispatch`" in api
+    assert "--streaming-dispatch" in api
+    assert "bench_streaming_dispatch" in api
+    obs = _read("docs/observability.md")
+    for needle in ("`plan_emit`", "`map_dispatch`", "dispatch` section"):
+        assert needle in obs, needle
+
+
 def test_observability_doc_is_cross_linked():
     assert "observability.md" in _read("docs/architecture.md")
     assert "observability.md" in _read("docs/api.md")
